@@ -1,0 +1,113 @@
+// Command graphgen synthesizes graphs: either a scaled analog of one of
+// the paper's eight SNAP datasets or a parametric random graph, with a
+// chosen edge-weighting scheme, written as an edge list or binary file.
+//
+// Examples:
+//
+//	graphgen -dataset cit-HepTh -scale 0.05 -weights uniform -o hep.txt
+//	graphgen -family rmat -n 10000 -m 80000 -weights wc -format bin -o g.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"influmax"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "SNAP analog name (see -list)")
+		family  = flag.String("family", "", "generator family: er, ba, ws, rmat")
+		n       = flag.Int("n", 1000, "vertex count (parametric families)")
+		m       = flag.Int("m", 8000, "edge count (er, rmat)")
+		mPer    = flag.Int("mper", 8, "edges per new vertex (ba) / lattice degree (ws)")
+		beta    = flag.Float64("beta", 0.1, "rewiring probability (ws)")
+		scale   = flag.Float64("scale", 0.01, "dataset analog scale in (0,1]")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		weights = flag.String("weights", "uniform", "weight scheme: uniform, const:<p>, wc, none")
+		lt      = flag.Bool("lt", false, "normalize in-weights for the LT model")
+		format  = flag.String("format", "txt", "output format: txt, bin")
+		out     = flag.String("o", "", "output file (default stdout)")
+		list    = flag.Bool("list", false, "list dataset analog names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range influmax.DatasetNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var g *influmax.Graph
+	switch {
+	case *dataset != "":
+		g = influmax.Generate(*dataset, *scale, *seed)
+	case *family != "":
+		switch *family {
+		case "er":
+			g = influmax.ErdosRenyi(*n, *m, *seed)
+		case "ba":
+			g = influmax.BarabasiAlbert(*n, *mPer, *seed)
+		case "ws":
+			g = influmax.WattsStrogatz(*n, *mPer, *beta, *seed)
+		case "rmat":
+			g = influmax.RMAT(*n, *m, 0.57, 0.19, 0.19, *seed)
+		default:
+			fatal("unknown family %q (want er, ba, ws, rmat)", *family)
+		}
+	default:
+		fatal("pass -dataset or -family (try -list)")
+	}
+
+	switch {
+	case *weights == "uniform":
+		g.AssignUniform(*seed ^ 0x5eed)
+	case *weights == "wc":
+		g.AssignWeightedCascade()
+	case *weights == "none":
+	case len(*weights) > 6 && (*weights)[:6] == "const:":
+		var p float64
+		if _, err := fmt.Sscanf(*weights, "const:%g", &p); err != nil {
+			fatal("bad -weights %q: %v", *weights, err)
+		}
+		g.AssignConstant(float32(p))
+	default:
+		fatal("unknown -weights %q", *weights)
+	}
+	if *lt {
+		g.NormalizeLT()
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "txt":
+		err = influmax.WriteEdgeList(w, g)
+	case "bin":
+		err = influmax.WriteBinary(w, g)
+	default:
+		fatal("unknown -format %q", *format)
+	}
+	if err != nil {
+		fatal("write: %v", err)
+	}
+	st := g.ComputeStats()
+	fmt.Fprintf(os.Stderr, "graphgen: %d vertices, %d edges, avg degree %.2f, max degree %d\n",
+		st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+// Command immdist runs distributed IMM (IMMdist, Section 3.2 of the
+// paper) in one of two modes:
+//
+// Local mode — all ranks inside one process over the in-process transport
+// (the scaled-down stand-in for a multi-node MPI job):
+//
+//	immdist -dataset com-Orkut -scale 0.005 -ranks 8 -k 200 -eps 0.13
+//
+// TCP mode — one process per rank, full-mesh sockets (run the same command
+// on every host with its own -rank):
+//
+//	immdist -dataset com-Orkut -scale 0.005 -k 200 -eps 0.13 \
+//	        -rank 0 -addrs host0:9000,host1:9000
+//	immdist ... -rank 1 -addrs host0:9000,host1:9000
+//
+// All ranks print the identical seed set; rank 0 prints the summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"influmax"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list graph file (all ranks need the same file)")
+		dataset   = flag.String("dataset", "com-Orkut", "SNAP analog to generate")
+		scale     = flag.Float64("scale", 0.005, "analog scale")
+		k         = flag.Int("k", 200, "seed set size")
+		eps       = flag.Float64("eps", 0.13, "accuracy parameter")
+		modelStr  = flag.String("model", "IC", "diffusion model: IC or LT")
+		threads   = flag.Int("threads", 1, "threads per rank (hybrid model)")
+		seed      = flag.Uint64("seed", 1, "random seed (must agree across ranks)")
+		ranks     = flag.Int("ranks", 4, "local mode: number of in-process ranks")
+		rank      = flag.Int("rank", -1, "TCP mode: this process's rank")
+		addrsStr  = flag.String("addrs", "", "TCP mode: comma-separated listen addresses, one per rank")
+		part      = flag.Bool("partitioned", false, "partition the graph across ranks too (future-work extension)")
+	)
+	flag.Parse()
+
+	model, err := influmax.ParseModel(*modelStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	g, err := loadGraph(*graphPath, *dataset, *scale, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if model == influmax.LT {
+		g.NormalizeLT()
+	}
+	opt := influmax.DistOptions{K: *k, Epsilon: *eps, Model: model, ThreadsPerRank: *threads, Seed: *seed}
+	popt := influmax.PartOptions{K: *k, Epsilon: *eps, Model: model, Seed: *seed}
+
+	// run executes the chosen algorithm on one communicator endpoint.
+	run := func(c influmax.Comm) error {
+		if *part {
+			res, err := influmax.MaximizePartitioned(c, g, popt)
+			if err != nil {
+				return err
+			}
+			reportPart(c.Rank(), res)
+			return nil
+		}
+		res, err := influmax.MaximizeDistributed(c, g, opt)
+		if err != nil {
+			return err
+		}
+		report(c.Rank(), res)
+		return nil
+	}
+
+	if *addrsStr != "" {
+		// TCP mode.
+		addrs := strings.Split(*addrsStr, ",")
+		if *rank < 0 || *rank >= len(addrs) {
+			fatal("TCP mode needs -rank in [0, %d)", len(addrs))
+		}
+		c, err := influmax.DialTCP(*rank, addrs)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer c.Close()
+		if err := run(c); err != nil {
+			fatal("rank %d: %v", *rank, err)
+		}
+		return
+	}
+
+	// Local mode: spin all ranks in-process.
+	comms := influmax.LocalCluster(*ranks)
+	errs := make([]error, *ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < *ranks; r++ {
+		wg.Add(1)
+		go func(rk int) {
+			defer wg.Done()
+			if rk == 0 {
+				errs[rk] = run(comms[rk])
+				return
+			}
+			// Non-zero ranks run silently in local mode.
+			if *part {
+				_, errs[rk] = influmax.MaximizePartitioned(comms[rk], g, popt)
+			} else {
+				_, errs[rk] = influmax.MaximizeDistributed(comms[rk], g, opt)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			fatal("rank %d: %v", r, err)
+		}
+	}
+}
+
+func reportPart(rank int, res *influmax.PartResult) {
+	if rank != 0 {
+		fmt.Printf("rank %d done: own [%d, %d)\n", rank, res.OwnedLo, res.OwnedHi)
+		return
+	}
+	fmt.Printf("graph-partitioned: %d ranks; theta: %d; samples: %d; store (this rank): %.2f MB\n",
+		res.Ranks, res.Theta, res.SamplesGenerated, float64(res.StoreBytes)/(1<<20))
+	fmt.Printf("phases: %s (total %v)\n", res.Phases.String(), res.Phases.Total())
+	fmt.Printf("estimated spread: %.1f (coverage %.4f)\n", res.EstimatedSpread, res.CoverageFraction)
+	fmt.Printf("seeds: %v\n", res.Seeds)
+}
+
+func report(rank int, res *influmax.DistResult) {
+	if rank != 0 {
+		fmt.Printf("rank %d done: %d local samples\n", rank, res.LocalSamples)
+		return
+	}
+	fmt.Printf("ranks: %d; theta: %d; samples: %d (this rank: %d); store: %.2f MB\n",
+		res.Ranks, res.Theta, res.SamplesGenerated, res.LocalSamples, float64(res.StoreBytes)/(1<<20))
+	fmt.Printf("phases: %s (total %v)\n", res.Phases.String(), res.Phases.Total())
+	fmt.Printf("estimated spread: %.1f (coverage %.4f)\n", res.EstimatedSpread, res.CoverageFraction)
+	fmt.Printf("seeds: %v\n", res.Seeds)
+}
+
+func loadGraph(path, dataset string, scale float64, seed uint64) (*influmax.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, _, err := influmax.ParseEdgeList(f)
+		return g, err
+	}
+	g := influmax.Generate(dataset, scale, seed)
+	g.AssignUniform(seed ^ 0x5eed)
+	return g, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "immdist: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+package influmax_test
+
+// End-to-end tests of the command-line tools: each binary is compiled once
+// into a scratch directory and driven the way a user would drive it.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// binPath compiles (once) and returns the path of the named cmd binary.
+func binPath(t *testing.T, name string) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "influmax-bin")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", buildDir+string(filepath.Separator), "./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			buildDir = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building cmds: %v (%s)", buildErr, buildDir)
+	}
+	return filepath.Join(buildDir, name)
+}
+
+func runCmd(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(binPath(t, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func runCmdExpectError(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(binPath(t, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", name, args, out)
+	}
+	return string(out)
+}
+
+func TestCmdGraphgenAndIMM(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	out := runCmd(t, "graphgen", "-dataset", "cit-HepTh", "-scale", "0.01", "-o", gpath)
+	if !strings.Contains(out, "vertices") {
+		t.Fatalf("graphgen output: %s", out)
+	}
+	out = runCmd(t, "imm", "-graph", gpath, "-k", "5", "-eps", "0.5", "-verify", "500")
+	for _, want := range []string{"theta:", "seeds (selection order):", "verified spread:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("imm output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdGraphgenBinaryFormat(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.bin")
+	runCmd(t, "graphgen", "-family", "er", "-n", "200", "-m", "1000", "-format", "bin", "-o", gpath)
+	out := runCmd(t, "imm", "-graph", gpath, "-bin", "-k", "3", "-eps", "0.5")
+	if !strings.Contains(out, "estimated spread:") {
+		t.Fatalf("binary graph not consumed:\n%s", out)
+	}
+}
+
+func TestCmdGraphgenList(t *testing.T) {
+	out := runCmd(t, "graphgen", "-list")
+	for _, name := range []string{"cit-HepTh", "com-Orkut"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("-list missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestCmdGraphgenErrors(t *testing.T) {
+	runCmdExpectError(t, "graphgen")                                     // no source
+	runCmdExpectError(t, "graphgen", "-family", "bogus")                 // bad family
+	runCmdExpectError(t, "graphgen", "-dataset", "x", "-scale", "0.01")  // unknown dataset (panic -> non-zero)
+	runCmdExpectError(t, "graphgen", "-family", "er", "-weights", "wat") // bad weights
+}
+
+func TestCmdSpread(t *testing.T) {
+	out := runCmd(t, "spread", "-dataset", "cit-HepTh", "-scale", "0.01", "-seeds", "0,1,2", "-trials", "500")
+	if !strings.Contains(out, "expected spread") {
+		t.Fatalf("spread output:\n%s", out)
+	}
+	runCmdExpectError(t, "spread", "-dataset", "cit-HepTh", "-scale", "0.01") // missing seeds
+	runCmdExpectError(t, "spread", "-dataset", "cit-HepTh", "-scale", "0.01", "-seeds", "999999999")
+}
+
+func TestCmdIMMModels(t *testing.T) {
+	for _, model := range []string{"IC", "LT"} {
+		out := runCmd(t, "imm", "-dataset", "soc-Epinions1", "-scale", "0.005", "-k", "4", "-eps", "0.5", "-model", model)
+		if !strings.Contains(out, "seeds (selection order):") {
+			t.Fatalf("model %s failed:\n%s", model, out)
+		}
+	}
+	runCmdExpectError(t, "imm", "-dataset", "cit-HepTh", "-model", "XX")
+	runCmdExpectError(t, "imm") // no input
+}
+
+func TestCmdIMMJSONOutput(t *testing.T) {
+	out := runCmd(t, "imm", "-dataset", "cit-HepTh", "-scale", "0.005", "-k", "3", "-eps", "0.5", "-json", "-verify", "200")
+	for _, want := range []string{`"seeds"`, `"theta"`, `"estimatedSpread"`, `"verified"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("json output missing %s:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "seeds (selection order)") {
+		t.Fatal("human output leaked into -json mode")
+	}
+}
+
+func TestCmdIMMBaselineFlag(t *testing.T) {
+	out := runCmd(t, "imm", "-dataset", "cit-HepTh", "-scale", "0.005", "-k", "3", "-eps", "0.5", "-baseline")
+	if !strings.Contains(out, "estimated spread:") {
+		t.Fatalf("baseline run failed:\n%s", out)
+	}
+}
+
+func TestCmdImmdistLocalAndPartitioned(t *testing.T) {
+	out := runCmd(t, "immdist", "-dataset", "com-YouTube", "-scale", "0.001", "-ranks", "2", "-k", "4", "-eps", "0.5")
+	if !strings.Contains(out, "ranks: 2") || !strings.Contains(out, "seeds:") {
+		t.Fatalf("immdist local output:\n%s", out)
+	}
+	out = runCmd(t, "immdist", "-dataset", "com-YouTube", "-scale", "0.001", "-ranks", "2", "-k", "4", "-eps", "0.5", "-partitioned")
+	if !strings.Contains(out, "graph-partitioned: 2 ranks") {
+		t.Fatalf("immdist partitioned output:\n%s", out)
+	}
+}
+
+func TestCmdBiostudy(t *testing.T) {
+	out := runCmd(t, "biostudy",
+		"-features", "200", "-samples", "30", "-modules", "3", "-modsize", "15",
+		"-k", "10", "-eps", "0.5", "-decoys", "3", "-top", "2")
+	for _, want := range []string{"inferring co-expression network", "IMM (k=10", "degree centrality", "ground-truth modules"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("biostudy output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdExperiments(t *testing.T) {
+	dir := t.TempDir()
+	runCmd(t, "experiments", "-scale", "0.002", "-o", dir, "fig2")
+	data, err := os.ReadFile(filepath.Join(dir, "fig2.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Figure 2") {
+		t.Fatalf("fig2.md content:\n%s", data)
+	}
+	// CSV mode.
+	runCmd(t, "experiments", "-scale", "0.002", "-csv", "-o", dir, "fig2")
+	if _, err := os.Stat(filepath.Join(dir, "fig2.csv")); err != nil {
+		t.Fatal("csv output missing")
+	}
+	runCmdExpectError(t, "experiments")                    // no experiment
+	runCmdExpectError(t, "experiments", "nonexistent-exp") // unknown name
+}

@@ -1,0 +1,40 @@
+// Package influmax is a fast, scalable influence-maximization library: a
+// from-scratch Go reproduction of "Fast and Scalable Implementations of
+// Influence Maximization Algorithms" (Minutoli et al., IEEE CLUSTER 2019),
+// the paper behind the Ripples framework.
+//
+// Given a directed graph with edge activation probabilities, a diffusion
+// model (Independent Cascade or Linear Threshold) and a budget k, the
+// library finds a k-vertex seed set whose expected influence spread is a
+// (1 - 1/e - eps)-approximation of the optimum with high probability,
+// using the IMM algorithm of Tang et al. (SIGMOD 2015) parallelized for
+// shared memory (goroutine worker pools standing in for OpenMP) and
+// distributed memory (an MPI-like message-passing substrate with
+// in-process and TCP transports).
+//
+// # Quick start
+//
+//	g := influmax.Generate("cit-HepTh", 0.05, 1) // synthetic SNAP analog
+//	g.AssignUniform(7)                           // p(e) ~ U[0,1)
+//	res, err := influmax.Maximize(g, influmax.Options{
+//	    K: 50, Epsilon: 0.5, Model: influmax.IC,
+//	})
+//	// res.Seeds holds the seed set; res.EstimatedSpread its quality.
+//
+// # Implementations
+//
+//   - Maximize with Options.Workers == 1: IMMopt, the optimized sequential
+//     implementation (compact one-directional RRR store);
+//   - Maximize with Options.Workers > 1: IMMmt, the multithreaded
+//     implementation (parallel sampling, synchronization-free seed
+//     selection via vertex-interval ownership);
+//   - MaximizeBaseline: the Tang-style reference baseline (bidirectional
+//     hypergraph store), kept for comparison;
+//   - MaximizeDistributed: IMMdist over an mpi.Comm (see LocalCluster for
+//     in-process ranks and the cmd/immdist tool for TCP clusters).
+//
+// Classic baselines (Kempe greedy, CELF, degree discount), centrality
+// measures, Monte Carlo spread evaluation, synthetic graph generators, and
+// the paper's full experiment harness are included; see the cmd and
+// examples directories.
+package influmax

@@ -1,0 +1,79 @@
+// Biology case study (Section 5 of the paper): influence maximization on
+// a co-expression network, compared against degree and betweenness
+// centrality through pathway-enrichment analysis.
+//
+// The pipeline mirrors the paper's: omics measurements -> co-expression
+// network inference -> top-k feature selection -> Fisher's exact
+// enrichment against a pathway database. Measurements and pathways are
+// synthetic with planted ground truth (see DESIGN.md for the
+// substitution), so recovery can be verified.
+//
+//	go run ./examples/biology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"influmax"
+	"influmax/internal/bio"
+	"influmax/internal/centrality"
+)
+
+func main() {
+	// "Tumor samples": 1500 transcripts/proteins measured over 70
+	// patients, 8 co-regulated modules of 40 features each.
+	cfg := bio.ExprConfig{
+		Features: 1500, Samples: 70,
+		Modules: 8, ModuleSize: 40,
+		Signal: 0.8, Seed: 2026,
+	}
+	expr := bio.SyntheticExpression(cfg)
+	fmt.Printf("expression matrix: %d features x %d samples, %d planted modules\n",
+		cfg.Features, cfg.Samples, cfg.Modules)
+
+	// Infer the co-expression network (correlation stand-in for GENIE3)
+	// and damp the scores into a diffusive regime.
+	g := bio.InferNetworkTop(expr, 5*cfg.Features)
+	g.ScaleWeights(0.035)
+	st := g.ComputeStats()
+	fmt.Printf("inferred network: %d edges, max degree %d\n\n", st.Edges, st.MaxDegree)
+
+	// Pathway database: the 8 ground-truth modules (15%% noisy membership)
+	// plus 8 decoys.
+	pathways := bio.SyntheticPathways(expr, 8, 0.15, 77)
+
+	const k = 45
+	res, err := influmax.Maximize(g, influmax.Options{
+		K: k, Epsilon: 0.13, Model: influmax.IC, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	methods := []struct {
+		name  string
+		picks []influmax.Vertex
+	}{
+		{"IMM (k=45, eps=0.13)", res.Seeds},
+		{"degree centrality", centrality.TopK(centrality.TotalDegree(g), k)},
+		{"betweenness centrality", centrality.TopK(centrality.Betweenness(g, 0), k)},
+	}
+
+	fmt.Printf("%-26s %10s %10s %s\n", "method", "enriched", "recovered", "top pathways")
+	for _, m := range methods {
+		enr := bio.Enrich(m.picks, pathways, cfg.Features)
+		top := ""
+		for i := 0; i < 3 && i < len(enr); i++ {
+			if enr[i].AdjP < 0.05 {
+				top += enr[i].Pathway + " "
+			}
+		}
+		fmt.Printf("%-26s %10d %7d/%d  %s\n", m.name,
+			bio.CountSignificant(enr, 0.05),
+			bio.TruePositives(enr, 0.05), cfg.Modules, top)
+	}
+	fmt.Println("\nAs in the paper, influence maximization surfaces the functionally")
+	fmt.Println("coherent (planted) pathways, while betweenness highlights bridges that")
+	fmt.Println("are topologically central but not pathway-specific.")
+}

@@ -1,0 +1,76 @@
+// Distributed influence maximization (IMMdist): the paper's Section 3.2
+// algorithm run on an in-process cluster, demonstrating that (i) each rank
+// holds only theta/p of the reverse-reachability samples, (ii) the ranks
+// agree on the seed set through AllReduce-based selection, and (iii) the
+// answer is identical to the shared-memory implementation.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"influmax"
+)
+
+func main() {
+	g := influmax.Generate("com-YouTube", 0.002, 5)
+	g.AssignUniform(11)
+	st := g.ComputeStats()
+	fmt.Printf("graph: %d vertices, %d edges\n", st.Vertices, st.Edges)
+
+	const k = 20
+	const eps = 0.3
+
+	// Shared-memory reference run.
+	ref, err := influmax.Maximize(g, influmax.Options{K: k, Epsilon: eps, Model: influmax.IC, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshared-memory IMM:  seeds %v\n", ref.Seeds)
+
+	// Distributed run: 4 ranks, each a goroutine over the in-process
+	// transport (swap LocalCluster for DialTCP to span machines — the
+	// algorithm code is transport-agnostic, like MPI code).
+	const ranks = 4
+	comms := influmax.LocalCluster(ranks)
+	results := make([]*influmax.DistResult, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			res, err := influmax.MaximizeDistributed(comms[rank], g, influmax.DistOptions{
+				K: k, Epsilon: eps, Model: influmax.IC, Seed: 9, ThreadsPerRank: 1,
+			})
+			if err != nil {
+				log.Fatalf("rank %d: %v", rank, err)
+			}
+			results[rank] = res
+		}(r)
+	}
+	wg.Wait()
+
+	fmt.Printf("distributed IMMdist: seeds %v\n\n", results[0].Seeds)
+	var total int
+	for r, res := range results {
+		fmt.Printf("rank %d: %6d local samples (%5.1f%% of theta), store %.2f MB\n",
+			r, res.LocalSamples,
+			100*float64(res.LocalSamples)/float64(res.SamplesGenerated),
+			float64(res.StoreBytes)/(1<<20))
+		total += res.LocalSamples
+	}
+	fmt.Printf("union:  %6d samples across ranks (theta = %d)\n", total, results[0].Theta)
+
+	match := len(ref.Seeds) == len(results[0].Seeds)
+	for i := range ref.Seeds {
+		if !match || ref.Seeds[i] != results[0].Seeds[i] {
+			match = false
+			break
+		}
+	}
+	fmt.Printf("\nseed sets identical to shared-memory run: %v\n", match)
+	fmt.Println("(per-sample RNG derivation makes the result independent of the rank count)")
+}

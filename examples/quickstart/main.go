@@ -1,0 +1,50 @@
+// Quickstart: build a small social graph, run IMM, and evaluate the
+// selected seed set with Monte Carlo simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"influmax"
+)
+
+func main() {
+	// A synthetic analog of the cit-HepTh citation network at 5% scale
+	// (about 1,400 vertices), with uniform random activation
+	// probabilities — the paper's experimental setup.
+	g := influmax.Generate("cit-HepTh", 0.05, 1)
+	g.AssignUniform(7)
+	st := g.ComputeStats()
+	fmt.Printf("graph: %d vertices, %d edges (avg degree %.1f)\n",
+		st.Vertices, st.Edges, st.AvgDegree)
+
+	// Find the 20 most influential vertices under Independent Cascade
+	// with a (1 - 1/e - 0.5) approximation guarantee, using all cores.
+	res, err := influmax.Maximize(g, influmax.Options{
+		K:       20,
+		Epsilon: 0.5,
+		Model:   influmax.IC,
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IMM generated %d reverse-reachability samples (theta = %d)\n",
+		res.SamplesGenerated, res.Theta)
+	fmt.Printf("selected seeds: %v\n", res.Seeds)
+	fmt.Printf("estimated spread: %.1f vertices\n", res.EstimatedSpread)
+
+	// Cross-check the RIS estimate with 20,000 forward Monte Carlo
+	// cascades: the two estimators agree because reverse-reachability
+	// coverage is an unbiased spread estimator.
+	mean, se := influmax.Spread(g, influmax.IC, res.Seeds, 20000, 0, 99)
+	fmt.Printf("simulated spread:  %.1f ± %.1f\n", mean, 2*se)
+
+	// Compare against the cheapest heuristic: top-k by degree.
+	degSeeds := influmax.TopDegree(g, 20)
+	degSpread, _ := influmax.Spread(g, influmax.IC, degSeeds, 20000, 0, 99)
+	fmt.Printf("top-degree heuristic spread: %.1f\n", degSpread)
+}

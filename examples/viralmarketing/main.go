@@ -1,0 +1,89 @@
+// Viral marketing: the motivating workload of the influence-maximization
+// literature. A brand can give free products to k customers of a social
+// network and wants to maximize word-of-mouth adoption.
+//
+// This example compares IMM against the classic alternatives (CELF
+// lazy-greedy, degree discount, plain degree) on an Orkut-like social
+// graph, reporting both solution quality and the cost of each method —
+// the trade-off Table 3 of the paper quantifies at scale.
+//
+//	go run ./examples/viralmarketing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"influmax"
+)
+
+func main() {
+	// Orkut-like analog at a small scale: heavy-tailed degrees, dense.
+	g := influmax.Generate("com-Orkut", 0.0005, 3)
+	g.AssignWeightedCascade() // adoption probability 1/indeg: the WC model
+	st := g.ComputeStats()
+	fmt.Printf("social graph: %d users, %d ties, max degree %d\n\n",
+		st.Vertices, st.Edges, st.MaxDegree)
+
+	const k = 25
+	const evalTrials = 20000
+
+	type method struct {
+		name string
+		run  func() ([]influmax.Vertex, error)
+	}
+	methods := []method{
+		{"IMM (eps=0.13)", func() ([]influmax.Vertex, error) {
+			res, err := influmax.Maximize(g, influmax.Options{K: k, Epsilon: 0.13, Model: influmax.IC, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return res.Seeds, nil
+		}},
+		{"IMM (eps=0.5)", func() ([]influmax.Vertex, error) {
+			res, err := influmax.Maximize(g, influmax.Options{K: k, Epsilon: 0.5, Model: influmax.IC, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return res.Seeds, nil
+		}},
+		{"CELF greedy (500 MC/eval)", func() ([]influmax.Vertex, error) {
+			seeds, _, err := influmax.CELF(g, influmax.IC, k, 500, 0, 1)
+			return seeds, err
+		}},
+		{"degree discount", func() ([]influmax.Vertex, error) {
+			return influmax.DegreeDiscount(g, k, 0.05), nil
+		}},
+		{"top degree", func() ([]influmax.Vertex, error) {
+			return influmax.TopDegree(g, k), nil
+		}},
+	}
+
+	fmt.Printf("%-28s %12s %12s\n", "method", "spread", "time")
+	for _, m := range methods {
+		start := time.Now()
+		seeds, err := m.run()
+		if err != nil {
+			log.Fatalf("%s: %v", m.name, err)
+		}
+		elapsed := time.Since(start)
+		spread, se := influmax.Spread(g, influmax.IC, seeds, evalTrials, 0, 777)
+		fmt.Printf("%-28s %7.1f±%-4.1f %12v\n", m.name, spread, 2*se, elapsed.Round(time.Millisecond))
+	}
+	fmt.Println("\nIMM matches the greedy oracle's quality at a fraction of its cost,")
+	fmt.Println("and tightening eps buys quality the heuristics cannot reach.")
+
+	// Return-on-investment curve: how much each additional free product
+	// buys. SpreadCurve shares one trial set across all prefixes, so the
+	// whole curve costs about one evaluation.
+	res, err := influmax.Maximize(g, influmax.Options{K: k, Epsilon: 0.13, Model: influmax.IC, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve := influmax.SpreadCurve(g, influmax.IC, res.Seeds, evalTrials, 0, 777)
+	fmt.Println("\nROI curve (IMM seeds, eps=0.13):")
+	for i := 0; i < len(curve); i += 5 {
+		fmt.Printf("  first %2d seeds -> %6.1f expected adopters\n", i+1, curve[i])
+	}
+}

@@ -1,0 +1,3 @@
+module influmax
+
+go 1.22

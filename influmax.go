@@ -1,0 +1,235 @@
+package influmax
+
+import (
+	"io"
+
+	"influmax/internal/baseline"
+	"influmax/internal/centrality"
+	"influmax/internal/diffuse"
+	"influmax/internal/dist"
+	"influmax/internal/gen"
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+	"influmax/internal/mpi"
+	"influmax/internal/trace"
+)
+
+// Core graph types, re-exported from the substrate.
+type (
+	// Graph is a directed graph in CSR form with per-edge activation
+	// probabilities.
+	Graph = graph.Graph
+	// Vertex identifies a vertex in [0, NumVertices).
+	Vertex = graph.Vertex
+	// Edge is a weighted directed edge used during construction.
+	Edge = graph.Edge
+	// Builder accumulates edges and produces a Graph.
+	Builder = graph.Builder
+	// GraphStats summarizes a graph's degree structure.
+	GraphStats = graph.Stats
+)
+
+// Model selects the diffusion process.
+type Model = diffuse.Model
+
+// Diffusion models.
+const (
+	// IC is the Independent Cascade model.
+	IC = diffuse.IC
+	// LT is the Linear Threshold model.
+	LT = diffuse.LT
+)
+
+// ParseModel parses "IC" or "LT" (case-insensitive).
+func ParseModel(s string) (Model, error) { return diffuse.ParseModel(s) }
+
+// Options configures an IMM run; see the imm package for field docs.
+type Options = imm.Options
+
+// Result reports an IMM run.
+type Result = imm.Result
+
+// RNG stream-splitting disciplines.
+const (
+	// PerSample gives every Monte Carlo sample its own derived stream:
+	// results are reproducible for any worker/rank count.
+	PerSample = imm.PerSample
+	// LeapFrog splits one global LCG sequence across workers, as the
+	// paper does with TRNG.
+	LeapFrog = imm.LeapFrog
+)
+
+// Phase identifies a section of Algorithm 1 in a Result's timing
+// breakdown (the stacked bars of the paper's figures).
+type Phase = trace.Phase
+
+// Algorithm 1 phases.
+const (
+	// PhaseEstimation is Algorithm 2 (EstimateTheta) including its
+	// internal sampling.
+	PhaseEstimation = trace.Estimation
+	// PhaseSampling is the direct Sample invocation (Algorithm 3).
+	PhaseSampling = trace.Sampling
+	// PhaseSelect is the final SelectSeeds invocation (Algorithm 4).
+	PhaseSelect = trace.SelectSeeds
+	// PhaseOther is setup and accounting.
+	PhaseOther = trace.Other
+)
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(n int, es []Edge) *Graph { return graph.FromEdges(n, es) }
+
+// ParseEdgeList reads a SNAP-style edge list; see graph.ParseEdgeList.
+func ParseEdgeList(r io.Reader) (*Graph, []int64, error) { return graph.ParseEdgeList(r) }
+
+// WriteEdgeList writes g as "u v w" lines.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadBinary / WriteBinary use the package's compact binary graph format.
+func ReadBinary(r io.Reader) (*Graph, error)  { return graph.ReadBinary(r) }
+func WriteBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// Maximize runs parallel IMM over g: the optimized sequential
+// implementation when opt.Workers == 1, the multithreaded one otherwise.
+func Maximize(g *Graph, opt Options) (*Result, error) { return imm.Run(g, opt) }
+
+// MaximizeBaseline runs the sequential Tang-style baseline (bidirectional
+// hypergraph store), the "IMM" rows of Tables 2 and 3.
+func MaximizeBaseline(g *Graph, opt Options) (*Result, error) { return imm.RunBaseline(g, opt) }
+
+// Comm is one rank's endpoint of the message-passing substrate.
+type Comm = mpi.Comm
+
+// DistOptions configures a distributed IMM run.
+type DistOptions = dist.Options
+
+// DistResult reports a distributed IMM run.
+type DistResult = dist.Result
+
+// LocalCluster creates p in-process ranks; hand each Comm to a goroutine
+// and call MaximizeDistributed on all of them.
+func LocalCluster(p int) []Comm { return mpi.NewLocalCluster(p) }
+
+// DialTCP joins a TCP communicator; see mpi.TCPConfig.
+func DialTCP(rank int, addrs []string) (Comm, error) {
+	return mpi.DialTCP(mpi.TCPConfig{Rank: rank, Addrs: addrs})
+}
+
+// MaximizeDistributed runs IMMdist over the communicator; all ranks must
+// call it with the same graph and options, and all receive the same seeds.
+func MaximizeDistributed(c Comm, g *Graph, opt DistOptions) (*DistResult, error) {
+	return dist.Run(c, g, opt)
+}
+
+// PartOptions configures a graph-partitioned distributed run (the paper's
+// future-work extension: the input graph, not just the sample set, is
+// partitioned across ranks).
+type PartOptions = dist.PartOptions
+
+// PartResult reports a graph-partitioned run.
+type PartResult = dist.PartResult
+
+// MaximizePartitioned runs graph-partitioned distributed IMM: every rank
+// owns a contiguous vertex interval and only that interval's incoming
+// edges; sampling is a bulk-synchronous frontier computation with
+// common-random-numbers edge coins, so the result is identical for every
+// rank count.
+func MaximizePartitioned(c Comm, g *Graph, opt PartOptions) (*PartResult, error) {
+	return dist.RunPartitioned(c, g, opt)
+}
+
+// Spread estimates the expected influence E[|I(S)|] of a seed set by
+// parallel Monte Carlo simulation, returning the mean and standard error.
+func Spread(g *Graph, model Model, seeds []Vertex, trials, workers int, seed uint64) (float64, float64) {
+	return diffuse.EstimateSpread(g, model, seeds, trials, workers, seed)
+}
+
+// SpreadCurve estimates the expected influence of every prefix of the
+// seed list — the "return on investment" curve of Figure 1 — sharing one
+// live-edge Monte Carlo trial set across all prefixes, so the whole curve
+// costs about as much as a single evaluation.
+func SpreadCurve(g *Graph, model Model, seeds []Vertex, trials, workers int, seed uint64) []float64 {
+	return diffuse.SpreadCurve(g, model, seeds, trials, workers, seed)
+}
+
+// Generate synthesizes a scaled analog of one of the paper's eight SNAP
+// datasets (see Datasets for names). Weights are zero; assign a scheme
+// such as (*Graph).AssignUniform afterwards. It panics on an unknown name
+// or invalid scale — use gen.ByName via DatasetNames for validation.
+func Generate(dataset string, scale float64, seed uint64) *Graph {
+	d, err := gen.ByName(dataset)
+	if err != nil {
+		panic(err)
+	}
+	return d.Generate(scale, seed)
+}
+
+// DatasetNames lists the SNAP analogs available to Generate.
+func DatasetNames() []string {
+	var names []string
+	for _, d := range gen.Datasets() {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
+// ErdosRenyi, BarabasiAlbert, WattsStrogatz and RMAT are the synthetic
+// generator families; see the gen package for parameter docs.
+func ErdosRenyi(n, m int, seed uint64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+func BarabasiAlbert(n, mPer int, seed uint64) *Graph {
+	return gen.BarabasiAlbert(n, mPer, seed)
+}
+func WattsStrogatz(n, k int, beta float64, seed uint64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+func RMAT(n, m int, a, b, c float64, seed uint64) *Graph { return gen.RMAT(n, m, a, b, c, seed) }
+
+// Greedy is the Monte Carlo hill-climbing baseline of Kempe et al.
+func Greedy(g *Graph, model Model, k, trials, workers int, seed uint64) ([]Vertex, []float64, error) {
+	return baseline.Greedy(g, model, k, trials, workers, seed)
+}
+
+// CELF is the lazy-greedy baseline of Leskovec et al.
+func CELF(g *Graph, model Model, k, trials, workers int, seed uint64) ([]Vertex, []float64, error) {
+	return baseline.CELF(g, model, k, trials, workers, seed)
+}
+
+// CELFPlusPlus is the CELF++ lazy-greedy of Goyal et al., returning the
+// seeds, their marginal gains, and the number of spread-oracle
+// evaluations.
+func CELFPlusPlus(g *Graph, model Model, k, trials, workers int, seed uint64) ([]Vertex, []float64, int, error) {
+	return baseline.CELFPlusPlus(g, model, k, trials, workers, seed)
+}
+
+// TIMResult reports a TIM+ run.
+type TIMResult = imm.TIMResult
+
+// MaximizeTIMPlus runs TIM+ (Tang et al. 2014), IMM's predecessor with the
+// same guarantee but a coarser sample-count bound — kept for comparison
+// benchmarks.
+func MaximizeTIMPlus(g *Graph, opt Options) (*TIMResult, error) {
+	return imm.RunTIMPlus(g, opt)
+}
+
+// KShell returns each vertex's k-shell (k-core) index on the undirected
+// view of g; KShellSeeds draws k seeds from the innermost shells (Wu et
+// al.'s heuristic).
+func KShell(g *Graph) []int                { return centrality.KShell(g) }
+func KShellSeeds(g *Graph, k int) []Vertex { return centrality.KShellSeeds(g, k) }
+
+// TopDegree, SingleDiscount and DegreeDiscount are the degree heuristics
+// of Chen et al.
+func TopDegree(g *Graph, k int) []Vertex      { return baseline.TopDegree(g, k) }
+func SingleDiscount(g *Graph, k int) []Vertex { return baseline.SingleDiscount(g, k) }
+func DegreeDiscount(g *Graph, k int, p float64) []Vertex {
+	return baseline.DegreeDiscount(g, k, p)
+}
+
+// Betweenness computes exact Brandes betweenness centrality.
+func Betweenness(g *Graph, workers int) []float64 { return centrality.Betweenness(g, workers) }
+
+// TopCentral returns the k highest-scoring vertices of a score vector.
+func TopCentral(scores []float64, k int) []Vertex { return centrality.TopK(scores, k) }

@@ -1,0 +1,288 @@
+// Package community implements the community-structure line of attack on
+// influence maximization that the paper's related work surveys and its
+// future work proposes to combine with IMM: label-propagation community
+// detection, directed modularity, and the community-based seed selection
+// of Halappanavar et al. (CF'16) — detect communities, allocate the seed
+// budget proportionally to community size, and mine each community's seeds
+// independently. Its known shortcoming, which the paper calls out ("the
+// inability to include the effects of inter-community edges since the
+// subgraphs are disjoint"), is measurable here against exact IMM.
+package community
+
+import (
+	"fmt"
+	"sort"
+
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+	"influmax/internal/rng"
+)
+
+// LabelPropagation detects communities on the undirected view of g (an
+// edge in either direction makes two vertices neighbors) by iterative
+// majority label adoption. Vertices are visited in a seeded random order
+// each round; ties adopt the smallest label, so the outcome is
+// deterministic for a fixed seed. Labels are normalized to the dense range
+// [0, communities). maxIter bounds the rounds (10-20 suffices in
+// practice).
+func LabelPropagation(g *graph.Graph, maxIter int, seed uint64) []int {
+	n := g.NumVertices()
+	labels := make([]int, n)
+	for v := range labels {
+		labels[v] = v
+	}
+	if n == 0 {
+		return labels
+	}
+	r := rng.New(rng.NewLCG(seed))
+	counts := make(map[int]int, 16)
+	for iter := 0; iter < maxIter; iter++ {
+		order := r.Perm(n)
+		changed := 0
+		for _, vi := range order {
+			v := graph.Vertex(vi)
+			clear(counts)
+			dsts, _ := g.OutNeighbors(v)
+			for _, u := range dsts {
+				counts[labels[u]]++
+			}
+			srcs, _ := g.InNeighbors(v)
+			for _, u := range srcs {
+				counts[labels[u]]++
+			}
+			if len(counts) == 0 {
+				continue
+			}
+			best, bestLabel := 0, labels[vi]
+			for label, c := range counts {
+				if c > best || (c == best && label < bestLabel) {
+					best, bestLabel = c, label
+				}
+			}
+			if bestLabel != labels[vi] {
+				labels[vi] = bestLabel
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return normalize(labels)
+}
+
+// normalize renames labels to 0..c-1 in order of first appearance.
+func normalize(labels []int) []int {
+	next := 0
+	remap := make(map[int]int, 16)
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		nl, ok := remap[l]
+		if !ok {
+			nl = next
+			remap[l] = nl
+			next++
+		}
+		out[i] = nl
+	}
+	return out
+}
+
+// Count returns the number of distinct communities in a normalized
+// labeling.
+func Count(labels []int) int {
+	maxL := -1
+	for _, l := range labels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL + 1
+}
+
+// Members groups vertices by community.
+func Members(labels []int) [][]graph.Vertex {
+	out := make([][]graph.Vertex, Count(labels))
+	for v, l := range labels {
+		out[l] = append(out[l], graph.Vertex(v))
+	}
+	return out
+}
+
+// Modularity returns the directed modularity of the labeling:
+// Q = (1/m) sum_ij [A_ij - kout_i*kin_j/m] * [c_i == c_j], computed per
+// community. Edge weights are ignored (topological modularity).
+func Modularity(g *graph.Graph, labels []int) float64 {
+	m := float64(g.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	c := Count(labels)
+	internal := make([]float64, c)
+	outDeg := make([]float64, c)
+	inDeg := make([]float64, c)
+	for v := 0; v < g.NumVertices(); v++ {
+		lv := labels[v]
+		dsts, _ := g.OutNeighbors(graph.Vertex(v))
+		outDeg[lv] += float64(len(dsts))
+		inDeg[lv] += float64(g.InDegree(graph.Vertex(v)))
+		for _, u := range dsts {
+			if labels[u] == lv {
+				internal[lv]++
+			}
+		}
+	}
+	q := 0.0
+	for i := 0; i < c; i++ {
+		q += internal[i]/m - (outDeg[i]/m)*(inDeg[i]/m)
+	}
+	return q
+}
+
+// Options configures community-based seed selection.
+type Options struct {
+	// K is the total seed budget.
+	K int
+	// IMM configures the per-community solver (K is overridden per
+	// community; Workers applies within each community run).
+	IMM imm.Options
+	// MaxIter bounds label propagation (0 means 20).
+	MaxIter int
+	// MinCommunity merges communities smaller than this into a residual
+	// pool solved together (0 means 2).
+	MinCommunity int
+}
+
+// Result reports a community-based selection.
+type Result struct {
+	// Seeds is the combined seed set (original vertex ids).
+	Seeds []graph.Vertex
+	// Labels is the detected community labeling.
+	Labels []int
+	// Communities is the number of detected communities.
+	Communities int
+	// Allocation[i] is the number of seeds assigned to community i.
+	Allocation []int
+	// Modularity of the labeling.
+	Modularity float64
+}
+
+// SelectSeeds runs the community-based pipeline: label propagation,
+// proportional budget allocation (largest-remainder rounding), and one IMM
+// run per community on its induced subgraph.
+func SelectSeeds(g *graph.Graph, opt Options) (*Result, error) {
+	n := g.NumVertices()
+	if opt.K < 1 || opt.K > n {
+		return nil, fmt.Errorf("community: k = %d out of [1, %d]", opt.K, n)
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 20
+	}
+	minC := opt.MinCommunity
+	if minC == 0 {
+		minC = 2
+	}
+	labels := LabelPropagation(g, maxIter, opt.IMM.Seed)
+	res := &Result{Labels: labels, Communities: Count(labels), Modularity: Modularity(g, labels)}
+
+	// Group, folding tiny communities into one residual pool.
+	groups := Members(labels)
+	var pools [][]graph.Vertex
+	var residual []graph.Vertex
+	for _, members := range groups {
+		if len(members) < minC {
+			residual = append(residual, members...)
+		} else {
+			pools = append(pools, members)
+		}
+	}
+	if len(residual) > 0 {
+		pools = append(pools, residual)
+	}
+	// Largest pools first so allocation rounding favors them.
+	sort.Slice(pools, func(i, j int) bool {
+		if len(pools[i]) != len(pools[j]) {
+			return len(pools[i]) > len(pools[j])
+		}
+		return pools[i][0] < pools[j][0]
+	})
+
+	// Proportional allocation with largest-remainder rounding, capped by
+	// pool size.
+	alloc := allocate(pools, opt.K, n)
+	res.Allocation = alloc
+
+	for i, members := range pools {
+		k := alloc[i]
+		if k == 0 {
+			continue
+		}
+		sub, back := g.InducedSubgraph(members)
+		iopt := opt.IMM
+		iopt.K = k
+		var seeds []graph.Vertex
+		if sub.NumVertices() < 2 || k >= sub.NumVertices() {
+			// Degenerate community: take the first k members directly.
+			for j := 0; j < k && j < len(back); j++ {
+				seeds = append(seeds, graph.Vertex(j))
+			}
+		} else {
+			r, err := imm.Run(sub, iopt)
+			if err != nil {
+				return nil, fmt.Errorf("community %d: %w", i, err)
+			}
+			seeds = r.Seeds
+		}
+		for _, s := range seeds {
+			res.Seeds = append(res.Seeds, back[s])
+		}
+	}
+	return res, nil
+}
+
+// allocate distributes k seeds across pools proportionally to size with
+// largest-remainder rounding, capping each pool at its cardinality and
+// redistributing overflow.
+func allocate(pools [][]graph.Vertex, k, n int) []int {
+	c := len(pools)
+	alloc := make([]int, c)
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, 0, c)
+	used := 0
+	for i, members := range pools {
+		share := float64(k) * float64(len(members)) / float64(n)
+		alloc[i] = int(share)
+		if alloc[i] > len(members) {
+			alloc[i] = len(members)
+		}
+		used += alloc[i]
+		fracs = append(fracs, frac{i, share - float64(alloc[i])})
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].rem != fracs[b].rem {
+			return fracs[a].rem > fracs[b].rem
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for used < k {
+		progress := false
+		for _, f := range fracs {
+			if used == k {
+				break
+			}
+			if alloc[f.idx] < len(pools[f.idx]) {
+				alloc[f.idx]++
+				used++
+				progress = true
+			}
+		}
+		if !progress {
+			break // every pool saturated: k == n handled upstream
+		}
+	}
+	return alloc
+}

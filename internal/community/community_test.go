@@ -1,0 +1,214 @@
+package community
+
+import (
+	"slices"
+	"testing"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+	"influmax/internal/rng"
+)
+
+// twoCliques builds two directed cliques of size s bridged by one edge.
+func twoCliques(s int, w float32) *graph.Graph {
+	b := graph.NewBuilder(2 * s)
+	for off := 0; off < 2; off++ {
+		for u := 0; u < s; u++ {
+			for v := 0; v < s; v++ {
+				if u != v {
+					b.Add(graph.Vertex(off*s+u), graph.Vertex(off*s+v), w)
+				}
+			}
+		}
+	}
+	b.Add(0, graph.Vertex(s), w) // bridge
+	return b.Build()
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	g := twoCliques(10, 0.5)
+	labels := LabelPropagation(g, 20, 1)
+	if Count(labels) != 2 {
+		t.Fatalf("found %d communities, want 2 (labels %v)", Count(labels), labels)
+	}
+	for v := 1; v < 10; v++ {
+		if labels[v] != labels[0] {
+			t.Fatalf("clique 1 split: %v", labels)
+		}
+	}
+	for v := 11; v < 20; v++ {
+		if labels[v] != labels[10] {
+			t.Fatalf("clique 2 split: %v", labels)
+		}
+	}
+	if labels[0] == labels[10] {
+		t.Fatalf("cliques merged: %v", labels)
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	r := rng.New(rng.NewLCG(3))
+	b := graph.NewBuilder(60)
+	for i := 0; i < 400; i++ {
+		u, v := r.Intn(60), r.Intn(60)
+		if u != v {
+			b.Add(graph.Vertex(u), graph.Vertex(v), 0.5)
+		}
+	}
+	g := b.Build()
+	a := LabelPropagation(g, 15, 7)
+	c := LabelPropagation(g, 15, 7)
+	if !slices.Equal(a, c) {
+		t.Fatal("label propagation not deterministic for a fixed seed")
+	}
+}
+
+func TestNormalizeDense(t *testing.T) {
+	labels := normalize([]int{7, 7, 3, 9, 3})
+	want := []int{0, 0, 1, 2, 1}
+	if !slices.Equal(labels, want) {
+		t.Fatalf("normalize = %v, want %v", labels, want)
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	labels := []int{0, 1, 0, 2, 1}
+	ms := Members(labels)
+	if len(ms) != 3 {
+		t.Fatalf("groups = %d", len(ms))
+	}
+	total := 0
+	for _, m := range ms {
+		total += len(m)
+	}
+	if total != 5 {
+		t.Fatalf("members lost: %d", total)
+	}
+	if !slices.Equal(ms[0], []graph.Vertex{0, 2}) {
+		t.Fatalf("group 0 = %v", ms[0])
+	}
+}
+
+func TestModularityCliquesBeatsRandomLabels(t *testing.T) {
+	g := twoCliques(8, 1)
+	good := LabelPropagation(g, 20, 1)
+	qGood := Modularity(g, good)
+	bad := make([]int, 16)
+	for i := range bad {
+		bad[i] = i % 2 // interleaved: cuts both cliques in half
+	}
+	qBad := Modularity(g, bad)
+	if qGood <= qBad {
+		t.Fatalf("modularity good %.3f <= bad %.3f", qGood, qBad)
+	}
+	if qGood < 0.3 {
+		t.Fatalf("two-clique modularity %.3f implausibly low", qGood)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	if q := Modularity(g, []int{0, 0, 0}); q != 0 {
+		t.Fatalf("modularity of empty graph = %v", q)
+	}
+}
+
+func TestSelectSeedsCoversCommunities(t *testing.T) {
+	g := twoCliques(12, 0.3)
+	res, err := SelectSeeds(g, Options{
+		K:   4,
+		IMM: imm.Options{Epsilon: 0.5, Model: diffuse.IC, Workers: 1, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 4 {
+		t.Fatalf("got %d seeds", len(res.Seeds))
+	}
+	// Both cliques are the same size: each must receive half the budget.
+	firstHalf, secondHalf := 0, 0
+	for _, s := range res.Seeds {
+		if s < 12 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if firstHalf != 2 || secondHalf != 2 {
+		t.Fatalf("allocation %d/%d, want 2/2 (seeds %v)", firstHalf, secondHalf, res.Seeds)
+	}
+	if res.Communities != 2 || res.Modularity <= 0 {
+		t.Fatalf("communities=%d modularity=%v", res.Communities, res.Modularity)
+	}
+	// Seeds are distinct.
+	sorted := append([]graph.Vertex(nil), res.Seeds...)
+	slices.Sort(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			t.Fatal("duplicate seed")
+		}
+	}
+}
+
+func TestSelectSeedsValidation(t *testing.T) {
+	g := twoCliques(4, 0.5)
+	if _, err := SelectSeeds(g, Options{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SelectSeeds(g, Options{K: 9}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestSelectSeedsResidualPool(t *testing.T) {
+	// A graph of isolated vertices: every community is a singleton, all
+	// fold into the residual pool; selection must still return k seeds.
+	g := graph.NewBuilder(10).Build()
+	res, err := SelectSeeds(g, Options{
+		K:   3,
+		IMM: imm.Options{Epsilon: 0.5, Model: diffuse.IC, Workers: 1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("got %d seeds from residual pool", len(res.Seeds))
+	}
+}
+
+// The paper's stated shortcoming of community-based methods: ignoring
+// inter-community edges costs solution quality relative to exact IMM.
+// On a graph whose influence flows across communities, community-based
+// selection must not beat IMM (and typically trails it).
+func TestCommunityVersusGlobalIMM(t *testing.T) {
+	r := rng.New(rng.NewLCG(11))
+	// Two clusters with many cross edges.
+	b := graph.NewBuilder(60)
+	for i := 0; i < 500; i++ {
+		u, v := r.Intn(60), r.Intn(60)
+		if u != v {
+			b.Add(graph.Vertex(u), graph.Vertex(v), 0.08)
+		}
+	}
+	g := b.Build()
+	global, err := imm.Run(g, imm.Options{K: 5, Epsilon: 0.3, Model: diffuse.IC, Workers: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := SelectSeeds(g, Options{
+		K:   5,
+		IMM: imm.Options{Epsilon: 0.3, Model: diffuse.IC, Workers: 1, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, _ := diffuse.EstimateSpread(g, diffuse.IC, global.Seeds, 20000, 0, 9)
+	cs, _ := diffuse.EstimateSpread(g, diffuse.IC, comm.Seeds, 20000, 0, 9)
+	if cs > gs*1.02 {
+		t.Fatalf("community selection (%.2f) beat exact IMM (%.2f)", cs, gs)
+	}
+	if cs < gs*0.5 {
+		t.Fatalf("community selection (%.2f) catastrophically below IMM (%.2f)", cs, gs)
+	}
+}

@@ -1,0 +1,126 @@
+package diffuse
+
+import (
+	"slices"
+
+	"influmax/internal/graph"
+	"influmax/internal/rng"
+)
+
+// Sampler generates random reverse reachable sets. It owns per-worker
+// scratch (an epoch-stamped visited array and a BFS queue) so repeated
+// calls allocate nothing beyond the result; it is NOT safe for concurrent
+// use — create one Sampler per worker goroutine.
+type Sampler struct {
+	g     *graph.Graph
+	model Model
+
+	visited []uint32
+	epoch   uint32
+	queue   []graph.Vertex
+}
+
+// NewSampler returns a sampler over g for the given model. For LT the
+// graph's in-weights must form a valid configuration (per-vertex sums at
+// most 1; see graph.NormalizeLT).
+func NewSampler(g *graph.Graph, model Model) *Sampler {
+	return &Sampler{
+		g:       g,
+		model:   model,
+		visited: make([]uint32, g.NumVertices()),
+		epoch:   0,
+	}
+}
+
+// Model returns the diffusion model the sampler was built for.
+func (s *Sampler) Model() Model { return s.model }
+
+// nextEpoch advances the visited stamp, clearing the array on wraparound.
+func (s *Sampler) nextEpoch() {
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.visited)
+		s.epoch = 1
+	}
+}
+
+// GenerateRR appends the random reverse reachable set of root to out and
+// returns it, sorted ascending by vertex id (the compact representation of
+// Section 3.1: sorted lists enable the binary-search partition navigation
+// of Algorithm 4). The root itself is always a member.
+func (s *Sampler) GenerateRR(r *rng.Rand, root graph.Vertex, out []graph.Vertex) []graph.Vertex {
+	base := len(out) // out may already hold earlier samples (arena use)
+	switch s.model {
+	case IC:
+		out = s.reverseBFS(r, root, out)
+	case LT:
+		out = s.reverseWalk(r, root, out)
+	default:
+		panic("diffuse: unknown model")
+	}
+	slices.Sort(out[base:])
+	return out
+}
+
+// reverseBFS is the IC kernel: a breadth-first traversal of incoming edges
+// where each edge is kept with its activation probability.
+func (s *Sampler) reverseBFS(r *rng.Rand, root graph.Vertex, out []graph.Vertex) []graph.Vertex {
+	s.nextEpoch()
+	s.visited[root] = s.epoch
+	s.queue = append(s.queue[:0], root)
+	out = append(out, root)
+	for len(s.queue) > 0 {
+		x := s.queue[0]
+		s.queue = s.queue[1:]
+		srcs, ws := s.g.InNeighbors(x)
+		for i, u := range srcs {
+			if s.visited[u] == s.epoch {
+				continue
+			}
+			if r.Float32() < ws[i] {
+				s.visited[u] = s.epoch
+				s.queue = append(s.queue, u)
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// reverseWalk is the LT kernel: from the root, each step selects at most
+// one incoming edge of the current vertex — edge i with probability w_i,
+// no edge with probability 1 - sum(w) — and stops on a revisit. This is
+// the triggering-set view of LT and the reason the paper observes LT RRR
+// sets to be far smaller than IC ones.
+func (s *Sampler) reverseWalk(r *rng.Rand, root graph.Vertex, out []graph.Vertex) []graph.Vertex {
+	s.nextEpoch()
+	s.visited[root] = s.epoch
+	out = append(out, root)
+	cur := root
+	for {
+		srcs, ws := s.g.InNeighbors(cur)
+		if len(srcs) == 0 {
+			return out
+		}
+		t := r.Float64()
+		cum := 0.0
+		next := -1
+		for i, w := range ws {
+			cum += float64(w)
+			if t < cum {
+				next = int(srcs[i])
+				break
+			}
+		}
+		if next < 0 {
+			return out // no edge selected: the walk dies here
+		}
+		u := graph.Vertex(next)
+		if s.visited[u] == s.epoch {
+			return out // reached an already-selected vertex: stop
+		}
+		s.visited[u] = s.epoch
+		out = append(out, u)
+		cur = u
+	}
+}

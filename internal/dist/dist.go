@@ -1,0 +1,341 @@
+// Package dist implements IMMdist, the paper's distributed-memory IMM
+// (Section 3.2), on top of the internal/mpi substrate.
+//
+// Design, following the paper exactly:
+//
+//   - every rank stores the entire input graph and generates a distinct
+//     contiguous batch of theta/p samples (sampling dominates and
+//     parallelizes embarrassingly; memory for R is what actually needs to
+//     scale out);
+//   - pseudorandom numbers come either from Leap Frog substreams of one
+//     global LCG sequence (the paper's TRNG discipline) or from per-sample
+//     derived streams (reproducible irrespective of p);
+//   - seed selection keeps an n-entry counter array per rank: local counts
+//     are AllReduce-summed into global counts, each rank then picks the
+//     same argmax locally, purges its local samples, and the decrements
+//     are AllReduce-summed again — k rounds, O(k n log p) communication;
+//   - within a rank, sampling and counting are additionally multithreaded
+//     (the hybrid MPI+OpenMP model), via goroutines here.
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+	"influmax/internal/mpi"
+	"influmax/internal/par"
+	"influmax/internal/rng"
+	"influmax/internal/rrr"
+	"influmax/internal/trace"
+)
+
+// Options configures a distributed IMM run. All ranks must pass identical
+// options.
+type Options struct {
+	// K is the seed-set cardinality.
+	K int
+	// Epsilon is the accuracy parameter in (0, 1).
+	Epsilon float64
+	// Model is the diffusion model.
+	Model diffuse.Model
+	// ThreadsPerRank is the intra-rank thread count (<= 0: GOMAXPROCS/size,
+	// at least 1) — the OpenMP half of the hybrid model.
+	ThreadsPerRank int
+	// Seed feeds the pseudorandom streams; must agree across ranks.
+	Seed uint64
+	// RNG selects the stream discipline (imm.PerSample reproduces the
+	// exact same result for any rank count; imm.LeapFrog mirrors the
+	// paper).
+	RNG imm.RNGMode
+	// L is the confidence exponent (0 means 1).
+	L float64
+}
+
+// Result reports a distributed run; all ranks return identical seed sets.
+type Result struct {
+	// Seeds is the selected seed set in greedy order.
+	Seeds []graph.Vertex
+	// CoverageFraction is the global F_R(S).
+	CoverageFraction float64
+	// EstimatedSpread is n * F_R(S).
+	EstimatedSpread float64
+	// Theta is the sample count the estimation deemed sufficient.
+	Theta int64
+	// SamplesGenerated is the global number of samples generated.
+	SamplesGenerated int64
+	// LocalSamples is the number held by this rank.
+	LocalSamples int
+	// LowerBound is the martingale lower bound on OPT.
+	LowerBound float64
+	// StoreBytes is this rank's RRR store footprint.
+	StoreBytes int64
+	// LocalWork is this rank's sampling work (total stored RRR entries),
+	// the quantity whose balance across ranks determines strong-scaling
+	// efficiency on real hardware.
+	LocalWork int64
+	// Phases is this rank's wall-clock phase breakdown.
+	Phases trace.Times
+	// Ranks is the communicator size.
+	Ranks int
+}
+
+// state carries the per-rank machinery across phases.
+type state struct {
+	c       mpi.Comm
+	g       *graph.Graph
+	opt     Options
+	col     *rrr.Collection
+	global  int64 // samples generated across all ranks so far
+	threads int
+
+	samplers []*diffuse.Sampler
+	streams  []*rng.Rand // LeapFrog substreams (rank-major, thread-minor)
+}
+
+// Run executes IMMdist over the communicator. Every rank must call Run
+// with the same graph and options; the identical seed set is returned on
+// every rank.
+func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
+	if opt.L == 0 {
+		opt.L = 1
+	}
+	if opt.ThreadsPerRank <= 0 {
+		opt.ThreadsPerRank = par.DefaultWorkers() / c.Size()
+		if opt.ThreadsPerRank < 1 {
+			opt.ThreadsPerRank = 1
+		}
+	}
+	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1}
+	if err := validate(iopt, g.NumVertices()); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Ranks: c.Size()}
+	startOther := time.Now()
+	st := &state{
+		c: c, g: g, opt: opt,
+		col:     rrr.NewCollection(g.NumVertices()),
+		threads: opt.ThreadsPerRank,
+	}
+	st.samplers = make([]*diffuse.Sampler, st.threads)
+	for i := range st.samplers {
+		st.samplers[i] = diffuse.NewSampler(g, opt.Model)
+	}
+	if opt.RNG == imm.LeapFrog {
+		// One global sequence split across size*threads consumers: the
+		// leap-frog stride is the total thread count of the job.
+		base := rng.NewLCG(opt.Seed)
+		total := c.Size() * st.threads
+		st.streams = make([]*rng.Rand, st.threads)
+		for tid := range st.streams {
+			st.streams[tid] = rng.New(base.LeapFrog(c.Rank()*st.threads+tid, total))
+		}
+	}
+	tm := imm.NewAnalysis(g.NumVertices(), opt.K, opt.Epsilon, opt.L)
+	res.Phases.Add(trace.Other, time.Since(startOther))
+
+	// Phase 1: distributed EstimateTheta.
+	var phaseErr error
+	res.Phases.Measure(trace.Estimation, func() {
+		lb := 1.0
+		for x := 1; x <= tm.MaxX(); x++ {
+			if err := st.sampleGlobal(tm.ThetaAt(x) - st.global); err != nil {
+				phaseErr = err
+				return
+			}
+			_, cov, err := st.selectSeeds()
+			if err != nil {
+				phaseErr = err
+				return
+			}
+			nF := tm.N() * float64(cov) / float64(st.global)
+			if nF >= tm.ThresholdAt(x) {
+				lb = tm.LowerBound(nF)
+				break
+			}
+		}
+		res.LowerBound = lb
+		res.Theta = tm.FinalTheta(lb)
+	})
+	if phaseErr != nil {
+		return nil, phaseErr
+	}
+
+	// Phase 2: distributed Sample.
+	res.Phases.Measure(trace.Sampling, func() {
+		phaseErr = st.sampleGlobal(res.Theta - st.global)
+	})
+	if phaseErr != nil {
+		return nil, phaseErr
+	}
+
+	// Phase 3: distributed SelectSeeds.
+	res.Phases.Measure(trace.SelectSeeds, func() {
+		seeds, cov, err := st.selectSeeds()
+		if err != nil {
+			phaseErr = err
+			return
+		}
+		res.Seeds = seeds
+		res.CoverageFraction = float64(cov) / float64(st.global)
+		res.EstimatedSpread = res.CoverageFraction * tm.N()
+	})
+	if phaseErr != nil {
+		return nil, phaseErr
+	}
+
+	res.SamplesGenerated = st.global
+	res.LocalSamples = st.col.Count()
+	res.StoreBytes = st.col.Bytes()
+	res.LocalWork = st.col.TotalSize()
+	return res, nil
+}
+
+func validate(o imm.Options, n int) error {
+	if n < 2 {
+		return fmt.Errorf("dist: graph must have at least 2 vertices")
+	}
+	if o.K < 1 || o.K > n {
+		return fmt.Errorf("dist: k = %d out of [1, %d]", o.K, n)
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("dist: epsilon = %v out of (0, 1)", o.Epsilon)
+	}
+	return nil
+}
+
+// sampleGlobal generates `count` samples globally: rank r generates the
+// contiguous sub-batch Interval(count, p, r), multithreaded within the
+// rank. Sample identities are the global indices st.global + i, so in
+// PerSample mode the union of all ranks' samples is independent of p.
+func (st *state) sampleGlobal(count int64) error {
+	if count <= 0 {
+		return nil
+	}
+	n := st.g.NumVertices()
+	lo, hi := par.Interval(int(count), st.c.Size(), st.c.Rank())
+	local := hi - lo
+	if local > 0 {
+		threads := st.threads
+		if threads > local {
+			threads = local
+		}
+		arenas := make([]struct {
+			verts   []graph.Vertex
+			offsets []int64
+		}, threads)
+		par.ForEach(local, threads, func(tid, tlo, thi int) {
+			sampler := st.samplers[tid]
+			a := &arenas[tid]
+			a.offsets = []int64{0}
+			var stream *rng.Rand
+			if st.streams != nil {
+				stream = st.streams[tid]
+			}
+			for i := tlo; i < thi; i++ {
+				if st.streams == nil {
+					globalID := st.global + int64(lo) + int64(i)
+					stream = rng.New(rng.Derive(st.opt.Seed, uint64(globalID)))
+				}
+				root := graph.Vertex(stream.Intn(n))
+				a.verts = sampler.GenerateRR(stream, root, a.verts)
+				a.offsets = append(a.offsets, int64(len(a.verts)))
+			}
+		})
+		for _, a := range arenas {
+			if a.offsets != nil {
+				st.col.AppendArena(a.verts, a.offsets)
+			}
+		}
+	}
+	st.global += count
+	return nil
+}
+
+// selectSeeds is the distributed Algorithm 4: global counters via
+// AllReduce, identical local argmax on every rank, local purge, AllReduce
+// of the decrements. Returns the seeds and the global covered count.
+func (st *state) selectSeeds() ([]graph.Vertex, int64, error) {
+	n := st.g.NumVertices()
+	k := st.opt.K
+	counter := make([]int64, n)
+	st.countLocal(counter, nil)
+	if err := mpi.AllReduce(st.c, counter, mpi.Sum); err != nil {
+		return nil, 0, err
+	}
+
+	covered := make([]bool, st.col.Count())
+	chosen := make([]bool, n)
+	seeds := make([]graph.Vertex, 0, k)
+	var coveredCount int64
+	dec := make([]int64, n)
+	for len(seeds) < k {
+		// Identical argmax on every rank: deterministic tie-breaking.
+		best, arg := int64(-1), -1
+		for v := 0; v < n; v++ {
+			if !chosen[v] && counter[v] > best {
+				best, arg = counter[v], v
+			}
+		}
+		if arg < 0 {
+			break
+		}
+		v := graph.Vertex(arg)
+		seeds = append(seeds, v)
+		chosen[arg] = true
+		coveredCount += counter[v]
+		// Local purge + decrement accumulation (multithreaded over vertex
+		// intervals, synchronization-free as in Algorithm 4).
+		clear(dec)
+		var matched []int32
+		p := st.threads
+		if p > n {
+			p = n
+		}
+		par.Run(p, func(rank int) {
+			vl, vh := par.Interval(n, p, rank)
+			for j := 0; j < st.col.Count(); j++ {
+				if covered[j] || !st.col.Contains(j, v) {
+					continue
+				}
+				for _, u := range st.col.RangeOf(j, graph.Vertex(vl), graph.Vertex(vh)) {
+					dec[u]++
+				}
+				if rank == 0 {
+					matched = append(matched, int32(j))
+				}
+			}
+		})
+		for _, j := range matched {
+			covered[j] = true
+		}
+		if err := mpi.AllReduce(st.c, dec, mpi.Sum); err != nil {
+			return nil, 0, err
+		}
+		for u := range counter {
+			counter[u] -= dec[u]
+		}
+	}
+	return seeds, coveredCount, nil
+}
+
+// countLocal fills counter with this rank's per-vertex sample membership
+// counts, multithreaded over vertex intervals.
+func (st *state) countLocal(counter []int64, covered []bool) {
+	n := st.g.NumVertices()
+	p := st.threads
+	if p > n {
+		p = n
+	}
+	cnt32 := make([]int32, n)
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		st.col.CountRange(cnt32, covered, graph.Vertex(vl), graph.Vertex(vh))
+	})
+	for i, c := range cnt32 {
+		counter[i] = int64(c)
+	}
+}

@@ -1,0 +1,181 @@
+package dist
+
+import (
+	"math"
+	"slices"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+	"influmax/internal/mpi"
+	"influmax/internal/par"
+)
+
+// runPart executes a graph-partitioned run on a local cluster.
+func runPart(t *testing.T, p int, g *graph.Graph, opt PartOptions) []*PartResult {
+	t.Helper()
+	comms := mpi.NewLocalCluster(p)
+	results := make([]*PartResult, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			results[rank], errs[rank] = RunPartitioned(comms[rank], g, opt)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return results
+}
+
+func TestOwnerInvertsInterval(t *testing.T) {
+	check := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%1000) + 1
+		p := int(pRaw%16) + 1
+		for r := 0; r < p; r++ {
+			lo, hi := par.Interval(n, p, r)
+			for v := lo; v < hi; v++ {
+				if owner(n, p, graph.Vertex(v)) != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedIndependentOfRankCount(t *testing.T) {
+	// The CRN coins make every sample a pure function of (seed, id):
+	// the seed set must be identical for every rank count.
+	g := testGraph(21, 90, 600)
+	opt := PartOptions{K: 6, Epsilon: 0.5, Model: diffuse.IC, Seed: 13, Batch: 64}
+	ref := runPart(t, 1, g, opt)[0]
+	if len(ref.Seeds) != 6 {
+		t.Fatalf("p=1 returned %d seeds", len(ref.Seeds))
+	}
+	for _, p := range []int{2, 3, 5} {
+		results := runPart(t, p, g, opt)
+		for rank, res := range results {
+			if !slices.Equal(res.Seeds, ref.Seeds) {
+				t.Fatalf("p=%d rank %d: seeds %v != p=1 seeds %v", p, rank, res.Seeds, ref.Seeds)
+			}
+			if res.Theta != ref.Theta {
+				t.Fatalf("p=%d: theta %d != %d", p, res.Theta, ref.Theta)
+			}
+		}
+	}
+}
+
+func TestPartitionedBatchSizeInvariance(t *testing.T) {
+	g := testGraph(22, 70, 400)
+	a := runPart(t, 2, g, PartOptions{K: 4, Epsilon: 0.5, Model: diffuse.IC, Seed: 5, Batch: 16})[0]
+	b := runPart(t, 2, g, PartOptions{K: 4, Epsilon: 0.5, Model: diffuse.IC, Seed: 5, Batch: 501})[0]
+	if !slices.Equal(a.Seeds, b.Seeds) {
+		t.Fatalf("batch size changed the result: %v vs %v", a.Seeds, b.Seeds)
+	}
+}
+
+func TestPartitionedLTModel(t *testing.T) {
+	g := testGraph(23, 80, 500)
+	g.NormalizeLT()
+	opt := PartOptions{K: 5, Epsilon: 0.5, Model: diffuse.LT, Seed: 3, Batch: 128}
+	ref := runPart(t, 1, g, opt)[0]
+	results := runPart(t, 3, g, opt)
+	if !slices.Equal(results[0].Seeds, ref.Seeds) {
+		t.Fatalf("LT partitioned mismatch: %v vs %v", results[0].Seeds, ref.Seeds)
+	}
+}
+
+func TestPartitionedQualityMatchesSharedMemory(t *testing.T) {
+	// Different PRNG scheme than imm.Run, so seeds differ; the spread
+	// quality must nevertheless agree.
+	g := testGraph(24, 80, 600)
+	shared, err := imm.Run(g, imm.Options{K: 5, Epsilon: 0.3, Model: diffuse.IC, Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := runPart(t, 4, g, PartOptions{K: 5, Epsilon: 0.3, Model: diffuse.IC, Seed: 7})[0]
+	s1, _ := diffuse.EstimateSpread(g, diffuse.IC, shared.Seeds, 20000, 0, 31)
+	s2, _ := diffuse.EstimateSpread(g, diffuse.IC, part.Seeds, 20000, 0, 31)
+	if math.Abs(s1-s2) > 0.1*s1+2 {
+		t.Fatalf("partitioned quality %.2f far from shared-memory %.2f", s2, s1)
+	}
+	// The RIS spread estimate must also be consistent with simulation.
+	if math.Abs(part.EstimatedSpread-s2) > 0.1*s2+2 {
+		t.Fatalf("partitioned internal estimate %.2f vs simulated %.2f", part.EstimatedSpread, s2)
+	}
+}
+
+func TestPartitionedStoreIsVertexPartitioned(t *testing.T) {
+	g := testGraph(25, 60, 350)
+	results := runPart(t, 3, g, PartOptions{K: 3, Epsilon: 0.5, Model: diffuse.IC, Seed: 9})
+	// Intervals tile the vertex space.
+	if results[0].OwnedLo != 0 || results[2].OwnedHi != graph.Vertex(g.NumVertices()) {
+		t.Fatalf("intervals wrong: %v-%v, %v-%v", results[0].OwnedLo, results[0].OwnedHi, results[2].OwnedLo, results[2].OwnedHi)
+	}
+	for r := 1; r < 3; r++ {
+		if results[r].OwnedLo != results[r-1].OwnedHi {
+			t.Fatalf("interval gap between ranks %d and %d", r-1, r)
+		}
+	}
+	// All ranks agree on global bookkeeping.
+	for r := 1; r < 3; r++ {
+		if results[r].SamplesGenerated != results[0].SamplesGenerated {
+			t.Fatal("ranks disagree on sample count")
+		}
+	}
+}
+
+func TestPartitionedValidation(t *testing.T) {
+	g := testGraph(26, 30, 100)
+	comms := mpi.NewLocalCluster(1)
+	for _, opt := range []PartOptions{
+		{K: 0, Epsilon: 0.5, Model: diffuse.IC},
+		{K: 31, Epsilon: 0.5, Model: diffuse.IC},
+		{K: 3, Epsilon: 0, Model: diffuse.IC},
+	} {
+		if _, err := RunPartitioned(comms[0], g, opt); err == nil {
+			t.Errorf("invalid options accepted: %+v", opt)
+		}
+	}
+}
+
+func TestCarvePartitionCoversAllInEdges(t *testing.T) {
+	g := testGraph(27, 50, 300)
+	size := 4
+	var total int64
+	for r := 0; r < size; r++ {
+		p := carvePartition(g, r, size)
+		for v := p.lo; v < p.hi; v++ {
+			srcs, ws, slots := p.inEdges(v)
+			gSrcs, gWs := g.InNeighbors(v)
+			if !slices.Equal(srcs, gSrcs) {
+				t.Fatalf("rank %d vertex %d: srcs differ", r, v)
+			}
+			for i := range ws {
+				if ws[i] != gWs[i] {
+					t.Fatalf("rank %d vertex %d: weights differ", r, v)
+				}
+				if slots[i] != g.InEdgeBase(v)+int64(i) {
+					t.Fatalf("rank %d vertex %d: slot ids differ", r, v)
+				}
+			}
+			total += int64(len(srcs))
+		}
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("partitions hold %d edges, graph has %d", total, g.NumEdges())
+	}
+}

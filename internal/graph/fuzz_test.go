@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseEdgeList exercises the text parser against arbitrary input: it
+// must never panic, and any graph it accepts must satisfy the structural
+// invariants and survive a write/parse round trip.
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3 0.5\n# comment\n")
+	f.Add("")
+	f.Add("0 0\n")
+	f.Add("% percent comment\n10 20 1e-3\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("1 2 NaN\n")
+	f.Add("a b c\n")
+	f.Add("1\t2\t0.25\n3 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, orig, err := ParseEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if g.NumVertices() != len(orig) {
+			t.Fatalf("vertex count %d != id map %d", g.NumVertices(), len(orig))
+		}
+		if err := g.validate(); err != nil {
+			t.Fatalf("accepted graph violates invariants: %v", err)
+		}
+		// Round trip: re-serialize and re-parse; sizes must be preserved.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g2, _, err := ParseEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count: %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip checks the binary decoder rejects corrupt input
+// without panicking and round-trips valid graphs.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, FromEdges(3, []Edge{{0, 1, 0.5}, {1, 2, 0.25}}))
+	f.Add(buf.Bytes())
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.validate(); err != nil {
+			t.Fatalf("decoded graph violates invariants: %v", err)
+		}
+	})
+}

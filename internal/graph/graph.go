@@ -1,0 +1,238 @@
+// Package graph provides the directed-graph substrate for influence
+// maximization: a compressed sparse row (CSR) representation with both
+// out-adjacency (forward diffusion) and in-adjacency (reverse reachability
+// sampling), per-edge activation probabilities, the weighting schemes used
+// in the paper's evaluation, text and binary I/O, and degree statistics.
+package graph
+
+// Vertex identifies a vertex; graphs are laid out over the dense range
+// [0, NumVertices).
+type Vertex = uint32
+
+// Edge is a weighted directed edge used during construction.
+type Edge struct {
+	Src, Dst Vertex
+	W        float32
+}
+
+// Graph is an immutable directed graph in CSR form. Both adjacency
+// directions are materialized: outgoing edges drive forward diffusion
+// (Section 3, probabilistic BFS from the seed set) and incoming edges drive
+// the reverse reachability sampling of Algorithm 3.
+//
+// Edge weights are the activation probabilities p(e); the in- and out-CSR
+// views always agree (outToIn maps every out-slot to its in-slot).
+type Graph struct {
+	n int
+
+	outOff []int64
+	outDst []Vertex
+	outW   []float32
+
+	inOff []int64
+	inSrc []Vertex
+	inW   []float32
+
+	// outToIn[k] is the in-CSR slot of the edge stored at out-CSR slot k,
+	// used to keep the two weight views consistent.
+	outToIn []int64
+}
+
+// NumVertices returns the number of vertices n.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of directed edges m.
+func (g *Graph) NumEdges() int64 { return int64(len(g.outDst)) }
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Graph) OutDegree(v Vertex) int {
+	return int(g.outOff[v+1] - g.outOff[v])
+}
+
+// InDegree returns the number of incoming edges of v.
+func (g *Graph) InDegree(v Vertex) int {
+	return int(g.inOff[v+1] - g.inOff[v])
+}
+
+// OutNeighbors returns the destinations and activation probabilities of v's
+// outgoing edges. The returned slices alias internal storage and must not
+// be modified.
+func (g *Graph) OutNeighbors(v Vertex) ([]Vertex, []float32) {
+	lo, hi := g.outOff[v], g.outOff[v+1]
+	return g.outDst[lo:hi], g.outW[lo:hi]
+}
+
+// InNeighbors returns the sources and activation probabilities of v's
+// incoming edges. The returned slices alias internal storage and must not
+// be modified.
+func (g *Graph) InNeighbors(v Vertex) ([]Vertex, []float32) {
+	lo, hi := g.inOff[v], g.inOff[v+1]
+	return g.inSrc[lo:hi], g.inW[lo:hi]
+}
+
+// OutEdgeBase returns the global out-CSR slot of v's first outgoing edge;
+// slot OutEdgeBase(v)+i identifies the i-th edge of OutNeighbors(v) stably,
+// which the common-random-numbers cascade uses as the edge's coin identity.
+func (g *Graph) OutEdgeBase(v Vertex) int64 { return g.outOff[v] }
+
+// OutEdgeInSlots returns, for each of v's outgoing edges, the in-CSR slot
+// of the same edge (its position within the destination's incoming list).
+// The returned slice aliases internal storage.
+func (g *Graph) OutEdgeInSlots(v Vertex) []int64 {
+	lo, hi := g.outOff[v], g.outOff[v+1]
+	return g.outToIn[lo:hi]
+}
+
+// InEdgeBase returns the global in-CSR slot of v's first incoming edge.
+func (g *Graph) InEdgeBase(v Vertex) int64 { return g.inOff[v] }
+
+// InWeightSum returns the sum of the activation probabilities of v's
+// incoming edges (used by the Linear Threshold kernels).
+func (g *Graph) InWeightSum(v Vertex) float64 {
+	_, ws := g.InNeighbors(v)
+	s := 0.0
+	for _, w := range ws {
+		s += float64(w)
+	}
+	return s
+}
+
+// Transpose returns a view of g with edge directions reversed. The view
+// shares storage with g; weight mutations on either affect both.
+func (g *Graph) Transpose() *Graph {
+	t := &Graph{
+		n:      g.n,
+		outOff: g.inOff, outDst: g.inSrc, outW: g.inW,
+		inOff: g.outOff, inSrc: g.outDst, inW: g.outW,
+	}
+	// outToIn is not preserved across transposition; weight-assignment
+	// methods require it and should be applied to the original.
+	return t
+}
+
+// Stats summarizes the degree structure of a graph (the columns of the
+// paper's Table 2).
+type Stats struct {
+	Vertices  int
+	Edges     int64
+	AvgDegree float64
+	MaxDegree int // max out-degree, as SNAP tables report
+	MaxInDeg  int
+}
+
+// ComputeStats returns the degree statistics of g.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{Vertices: g.n, Edges: g.NumEdges()}
+	if g.n > 0 {
+		s.AvgDegree = float64(s.Edges) / float64(g.n)
+	}
+	for v := 0; v < g.n; v++ {
+		if d := g.OutDegree(Vertex(v)); d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d := g.InDegree(Vertex(v)); d > s.MaxInDeg {
+			s.MaxInDeg = d
+		}
+	}
+	return s
+}
+
+// MemoryBytes returns the number of bytes of adjacency storage, for the
+// memory-footprint accounting of Table 2.
+func (g *Graph) MemoryBytes() int64 {
+	return int64(len(g.outOff)+len(g.inOff))*8 +
+		int64(len(g.outDst)+len(g.inSrc))*4 +
+		int64(len(g.outW)+len(g.inW))*4 +
+		int64(len(g.outToIn))*8
+}
+
+// Builder accumulates edges and produces a CSR Graph.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// Add appends a directed edge u->v with activation probability w.
+func (b *Builder) Add(u, v Vertex, w float32) {
+	if int(u) >= b.n || int(v) >= b.n {
+		panic("graph: edge endpoint out of range")
+	}
+	b.edges = append(b.edges, Edge{u, v, w})
+}
+
+// AddEdges appends a batch of edges.
+func (b *Builder) AddEdges(es []Edge) {
+	for _, e := range es {
+		b.Add(e.Src, e.Dst, e.W)
+	}
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build constructs the CSR graph. The builder can be reused afterwards.
+// Edges are kept as given (parallel edges and self-loops are preserved);
+// within each vertex's adjacency list, edges appear in insertion order.
+func (b *Builder) Build() *Graph {
+	n, m := b.n, len(b.edges)
+	g := &Graph{
+		n:       n,
+		outOff:  make([]int64, n+1),
+		outDst:  make([]Vertex, m),
+		outW:    make([]float32, m),
+		inOff:   make([]int64, n+1),
+		inSrc:   make([]Vertex, m),
+		inW:     make([]float32, m),
+		outToIn: make([]int64, m),
+	}
+	for _, e := range b.edges {
+		g.outOff[e.Src+1]++
+		g.inOff[e.Dst+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+		g.inOff[v+1] += g.inOff[v]
+	}
+	outNext := make([]int64, n)
+	inNext := make([]int64, n)
+	copy(outNext, g.outOff[:n])
+	copy(inNext, g.inOff[:n])
+	for _, e := range b.edges {
+		op := outNext[e.Src]
+		ip := inNext[e.Dst]
+		outNext[e.Src]++
+		inNext[e.Dst]++
+		g.outDst[op] = e.Dst
+		g.outW[op] = e.W
+		g.inSrc[ip] = e.Src
+		g.inW[ip] = e.W
+		g.outToIn[op] = ip
+	}
+	return g
+}
+
+// FromEdges builds a graph directly from an edge slice.
+func FromEdges(n int, es []Edge) *Graph {
+	b := NewBuilder(n)
+	b.AddEdges(es)
+	return b.Build()
+}
+
+// syncOutWeights re-derives the out-CSR weight view from the in-CSR view
+// after an in-weight mutation.
+func (g *Graph) syncOutWeights() {
+	if g.outToIn == nil {
+		panic("graph: weight assignment on a transposed view")
+	}
+	for k, ip := range g.outToIn {
+		g.outW[k] = g.inW[ip]
+	}
+}

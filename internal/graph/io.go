@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseEdgeList reads a whitespace-separated edge list ("u v" or "u v w"
+// per line; lines starting with '#' or '%' are comments) in the format of
+// the SNAP collection. Vertex identifiers may be arbitrary non-negative
+// integers; they are relabeled to the dense range [0, n). The returned
+// slice maps each new id back to the original id (sorted ascending). Edges
+// without an explicit weight get weight 0 and should be assigned one of the
+// weighting schemes afterwards.
+func ParseEdgeList(r io.Reader) (*Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type rawEdge struct {
+		u, v int64
+		w    float32
+	}
+	var raw []rawEdge
+	ids := make(map[int64]struct{})
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad source %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad destination %q: %v", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		var w float64
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[2], err)
+			}
+		}
+		raw = append(raw, rawEdge{u, v, float32(w)})
+		ids[u] = struct{}{}
+		ids[v] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: read: %v", err)
+	}
+	orig := make([]int64, 0, len(ids))
+	for id := range ids {
+		orig = append(orig, id)
+	}
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	remap := make(map[int64]Vertex, len(orig))
+	for i, id := range orig {
+		remap[id] = Vertex(i)
+	}
+	b := NewBuilder(len(orig))
+	for _, e := range raw {
+		b.Add(remap[e.u], remap[e.v], e.w)
+	}
+	return b.Build(), orig, nil
+}
+
+// WriteEdgeList writes g as "u v w" lines.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# influmax edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		dsts, ws := g.OutNeighbors(Vertex(u))
+		for i, v := range dsts {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, v, ws[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// binaryGraph is the gob wire form of a Graph.
+type binaryGraph struct {
+	N       int
+	OutOff  []int64
+	OutDst  []Vertex
+	OutW    []float32
+	InOff   []int64
+	InSrc   []Vertex
+	InW     []float32
+	OutToIn []int64
+}
+
+// WriteBinary serializes g in the package's binary format (gob).
+func WriteBinary(w io.Writer, g *Graph) error {
+	return gob.NewEncoder(w).Encode(binaryGraph{
+		N:      g.n,
+		OutOff: g.outOff, OutDst: g.outDst, OutW: g.outW,
+		InOff: g.inOff, InSrc: g.inSrc, InW: g.inW,
+		OutToIn: g.outToIn,
+	})
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	var bg binaryGraph
+	if err := gob.NewDecoder(r).Decode(&bg); err != nil {
+		return nil, fmt.Errorf("graph: decode: %v", err)
+	}
+	g := &Graph{
+		n:      bg.N,
+		outOff: bg.OutOff, outDst: bg.OutDst, outW: bg.OutW,
+		inOff: bg.InOff, inSrc: bg.InSrc, inW: bg.InW,
+		outToIn: bg.OutToIn,
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validate checks structural invariants of a deserialized graph.
+func (g *Graph) validate() error {
+	if g.n < 0 || len(g.outOff) != g.n+1 || len(g.inOff) != g.n+1 {
+		return fmt.Errorf("graph: corrupt offsets (n=%d)", g.n)
+	}
+	m := int64(len(g.outDst))
+	if int64(len(g.inSrc)) != m || int64(len(g.outW)) != m || int64(len(g.inW)) != m {
+		return fmt.Errorf("graph: inconsistent edge array lengths")
+	}
+	if g.outOff[g.n] != m || g.inOff[g.n] != m {
+		return fmt.Errorf("graph: offset totals disagree with edge count")
+	}
+	prev := int64(0)
+	for v := 0; v <= g.n; v++ {
+		if g.outOff[v] < prev || g.inOff[v] < 0 || g.inOff[v] > m {
+			return fmt.Errorf("graph: non-monotone offsets at vertex %d", v)
+		}
+		prev = g.outOff[v]
+	}
+	for _, d := range g.outDst {
+		if int(d) >= g.n {
+			return fmt.Errorf("graph: out-edge endpoint %d out of range", d)
+		}
+	}
+	for _, s := range g.inSrc {
+		if int(s) >= g.n {
+			return fmt.Errorf("graph: in-edge endpoint %d out of range", s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package graph
+
+import "sort"
+
+// InducedSubgraph returns the subgraph induced by the given vertex set:
+// its vertices are relabeled to [0, len(set)) in ascending original-id
+// order, and every edge of g with both endpoints in the set is kept with
+// its weight. The returned slice maps each new id to its original vertex.
+// Duplicate vertices in the input are ignored.
+func (g *Graph) InducedSubgraph(set []Vertex) (*Graph, []Vertex) {
+	keep := make([]Vertex, 0, len(set))
+	seen := make(map[Vertex]bool, len(set))
+	for _, v := range set {
+		if int(v) < g.n && !seen[v] {
+			seen[v] = true
+			keep = append(keep, v)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	remap := make(map[Vertex]Vertex, len(keep))
+	for i, v := range keep {
+		remap[v] = Vertex(i)
+	}
+	b := NewBuilder(len(keep))
+	for _, u := range keep {
+		dsts, ws := g.OutNeighbors(u)
+		for i, v := range dsts {
+			if nv, ok := remap[v]; ok {
+				b.Add(remap[u], nv, ws[i])
+			}
+		}
+	}
+	return b.Build(), keep
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"influmax/internal/rng"
+)
+
+func TestInducedSubgraphBasic(t *testing.T) {
+	g := FromEdges(5, []Edge{
+		{0, 1, 0.1}, {1, 2, 0.2}, {2, 3, 0.3}, {3, 4, 0.4}, {4, 0, 0.5},
+	})
+	sub, back := g.InducedSubgraph([]Vertex{1, 2, 3})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("sub n = %d", sub.NumVertices())
+	}
+	if !slices.Equal(back, []Vertex{1, 2, 3}) {
+		t.Fatalf("back map = %v", back)
+	}
+	// Kept edges: 1->2 and 2->3, relabeled 0->1, 1->2.
+	if sub.NumEdges() != 2 {
+		t.Fatalf("sub m = %d", sub.NumEdges())
+	}
+	dsts, ws := sub.OutNeighbors(0)
+	if len(dsts) != 1 || dsts[0] != 1 || ws[0] != 0.2 {
+		t.Fatalf("edge 0: %v %v", dsts, ws)
+	}
+}
+
+func TestInducedSubgraphDedupAndOutOfRange(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1, 1}})
+	sub, back := g.InducedSubgraph([]Vertex{1, 1, 0, 99})
+	if sub.NumVertices() != 2 || len(back) != 2 {
+		t.Fatalf("dedup failed: n=%d back=%v", sub.NumVertices(), back)
+	}
+}
+
+func TestInducedSubgraphWholeGraphIsIsomorphic(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(rng.NewLCG(seed))
+		n := 2 + r.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			b.Add(Vertex(u), Vertex(v), r.Float32())
+		}
+		g := b.Build()
+		all := make([]Vertex, n)
+		for i := range all {
+			all[i] = Vertex(i)
+		}
+		sub, back := g.InducedSubgraph(all)
+		if sub.NumVertices() != n || sub.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if back[v] != Vertex(v) {
+				return false
+			}
+			if sub.OutDegree(Vertex(v)) != g.OutDegree(Vertex(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraphNoForeignEdges(t *testing.T) {
+	// Edges with exactly one endpoint in the set must be dropped.
+	g := FromEdges(4, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {3, 0, 1}})
+	sub, _ := g.InducedSubgraph([]Vertex{0, 3})
+	if sub.NumEdges() != 1 { // only 3->0 survives
+		t.Fatalf("sub m = %d, want 1", sub.NumEdges())
+	}
+}
+
+func TestScaleWeights(t *testing.T) {
+	g := FromEdges(2, []Edge{{0, 1, 0.4}, {1, 0, 0.9}})
+	g.ScaleWeights(0.5)
+	_, ws := g.InNeighbors(1)
+	if ws[0] != 0.2 {
+		t.Fatalf("scaled weight = %v", ws[0])
+	}
+	// Clamp at 1.
+	g.ScaleWeights(100)
+	_, ws = g.InNeighbors(1)
+	if ws[0] != 1 {
+		t.Fatalf("clamped weight = %v", ws[0])
+	}
+	// Out view synchronized.
+	_, ows := g.OutNeighbors(0)
+	if ows[0] != 1 {
+		t.Fatalf("out view not synced: %v", ows[0])
+	}
+}
+
+func TestScaleWeightsPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative scale accepted")
+		}
+	}()
+	FromEdges(2, []Edge{{0, 1, 0.5}}).ScaleWeights(-1)
+}

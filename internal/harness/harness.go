@@ -1,0 +1,133 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section on the synthetic SNAP analogs: Table 2 (serial IMM vs
+// IMMopt), Table 3 (end-to-end speedups), Figure 1 (quality vs k at two
+// accuracies), Figure 2 (theta growth), Figures 3-4 (parameter sweeps with
+// phase breakdown), Figures 5-6 (multithreaded strong scaling), Figures
+// 7-8 (distributed strong scaling) and the Section 5 biology case study.
+//
+// Each driver returns a Table that renders to Markdown or CSV; cmd/
+// experiments wires them to the command line and EXPERIMENTS.md records
+// the measured outputs next to the paper's.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"influmax/internal/par"
+)
+
+// Config controls the scale of the regenerated experiments.
+type Config struct {
+	// Scale is the linear dataset scale in (0, 1]; 1 reproduces the full
+	// SNAP sizes (hours of compute), the default testing scale is much
+	// smaller.
+	Scale float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers caps thread counts (<= 0: GOMAXPROCS).
+	Workers int
+	// Datasets filters by name; empty means the driver's default set.
+	Datasets []string
+	// EpsValues, KValues, Threads and Ranks override the sweep points of
+	// the corresponding figures; empty means the paper's values.
+	EpsValues []float64
+	KValues   []int
+	Threads   []int
+	Ranks     []int
+	// Trials is the Monte Carlo budget for spread evaluation (Figure 1 and
+	// the case study).
+	Trials int
+	// BaseK overrides the k = 100 of Figures 5-6 and Table 3's
+	// shared-memory rows (zero keeps the paper's value).
+	BaseK int
+	// DistEps and DistK override the eps = 0.13 / k = 200 of the
+	// distributed experiments, Figures 7-8 and Table 3's IMMdist row
+	// (zero keeps the paper's values). Useful to keep scaled-down runs
+	// tractable: theta grows ~1/eps^2.
+	DistEps float64
+	DistK   int
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.01
+	}
+	if c.Workers <= 0 {
+		c.Workers = par.DefaultWorkers()
+	}
+	if c.Trials == 0 {
+		c.Trials = 2000
+	}
+	if c.BaseK == 0 {
+		c.BaseK = 100
+	}
+	if c.DistEps == 0 {
+		c.DistEps = 0.13
+	}
+	if c.DistK == 0 {
+		c.DistK = 200
+	}
+	return c
+}
+
+// wantDataset reports whether name passes the config's filter.
+func (c Config) wantDataset(name string) bool {
+	if len(c.Datasets) == 0 {
+		return true
+	}
+	for _, d := range c.Datasets {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the paper artifact this regenerates (e.g. "Table 2").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Note records parameters and caveats.
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (naive quoting: cells
+// are produced by the harness and contain no commas).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return b.String()
+}
+
+// fmtDur formats seconds with ms resolution.
+func fmtDur(seconds float64) string { return fmt.Sprintf("%.3f", seconds) }
+
+// fmtF formats a float compactly.
+func fmtF(x float64) string { return fmt.Sprintf("%.2f", x) }

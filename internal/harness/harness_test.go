@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is a configuration small enough for unit tests: minuscule analogs
+// and trimmed sweeps.
+func tiny() Config {
+	return Config{
+		Scale:     0.001,
+		Seed:      1,
+		Workers:   2,
+		EpsValues: []float64{0.5},
+		KValues:   []int{5, 10},
+		Threads:   []int{1, 2},
+		Ranks:     []int{1, 2},
+		Trials:    200,
+		BaseK:     10,
+		DistEps:   0.5,
+		DistK:     12,
+	}
+}
+
+func checkTable(t *testing.T, tab *Table, minRows int) {
+	t.Helper()
+	if tab.ID == "" || tab.Title == "" {
+		t.Fatal("table missing identification")
+	}
+	if len(tab.Rows) < minRows {
+		t.Fatalf("%s: only %d rows", tab.ID, len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("%s row %d: %d cells vs %d headers", tab.ID, i, len(row), len(tab.Header))
+		}
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, tab.ID) || !strings.Contains(md, "|") {
+		t.Fatalf("%s: markdown malformed", tab.ID)
+	}
+	csv := tab.CSV()
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != len(tab.Rows)+1 {
+		t.Fatalf("%s: csv row count wrong", tab.ID)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	cfg := tiny()
+	tab, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 2)
+}
+
+func TestTable2(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"cit-HepTh", "soc-Epinions1"}
+	tab, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 2)
+	// The memory column must show savings (compact < hypergraph).
+	for _, row := range tab.Rows {
+		savings := row[len(row)-1]
+		if strings.HasPrefix(savings, "-") {
+			t.Fatalf("negative memory savings: %v", row)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	cfg := tiny()
+	tab, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 1)
+}
+
+func TestFig3AndFig4(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"cit-HepTh"}
+	tab3, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab3, 1)
+	tab4, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab4, 2)
+}
+
+func TestFig5AndFig6(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"cit-HepTh"}
+	for _, f := range []func(Config) (*Table, error){Fig5, Fig6} {
+		tab, err := f(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTable(t, tab, 2)
+	}
+}
+
+func TestFig7AndFig8(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"com-YouTube"}
+	for _, f := range []func(Config) (*Table, error){Fig7, Fig8} {
+		tab, err := f(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTable(t, tab, 2)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"com-Orkut"}
+	tab, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 4)
+	// Four implementations per graph, baseline speedup exactly 1.00x.
+	if tab.Rows[0][5] != "1.00x" {
+		t.Fatalf("baseline speedup = %s", tab.Rows[0][5])
+	}
+}
+
+func TestBio(t *testing.T) {
+	cfg := tiny()
+	tab, err := Bio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 6) // 2 networks x 3 methods
+	// IMM should recover at least one ground-truth module per network.
+	for _, row := range tab.Rows {
+		if row[1] == "IMM" && strings.HasPrefix(row[3], "0/") {
+			t.Fatalf("IMM recovered no planted modules: %v", row)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"cit-HepTh"}
+	tab, err := Validate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 5)
+	// The per-sample variants must agree with the baseline exactly.
+	for _, row := range tab.Rows {
+		if strings.Contains(row[1], "per-sample") && row[2] != "1.00" {
+			t.Fatalf("per-sample RBO = %s, want 1.00: %v", row[2], row)
+		}
+	}
+}
+
+func TestPartitionedDriver(t *testing.T) {
+	cfg := tiny()
+	tab, err := Partitioned(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 4) // 2 decompositions x 2 rank counts
+}
+
+func TestRunAllStreamsMarkdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full driver sweep in short mode")
+	}
+	cfg := tiny()
+	cfg.Datasets = []string{"cit-HepTh", "com-YouTube", "com-Orkut", "soc-LiveJournal1"}
+	var b strings.Builder
+	if err := RunAll(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range []string{"Figure 1", "Table 2", "Figure 8", "Table 3", "Section 5"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("RunAll output missing %q", id)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale <= 0 || c.Workers < 1 || c.Trials < 1 {
+		t.Fatalf("defaults unresolved: %+v", c)
+	}
+	if !c.wantDataset("anything") {
+		t.Fatal("empty filter must accept all")
+	}
+	c.Datasets = []string{"a"}
+	if c.wantDataset("b") || !c.wantDataset("a") {
+		t.Fatal("filter wrong")
+	}
+}
+
+func TestBaselinesDriver(t *testing.T) {
+	cfg := tiny()
+	tab, err := Baselines(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 9)
+}

@@ -1,0 +1,144 @@
+package imm
+
+import (
+	"time"
+
+	"influmax/internal/graph"
+	"influmax/internal/rrr"
+	"influmax/internal/trace"
+)
+
+// Result reports an IMM run: the seed set (in greedy selection order), the
+// quality estimate, the sample-count bookkeeping and the per-phase timings
+// that the paper's figures break runtimes into.
+type Result struct {
+	// Seeds is the selected seed set in the order the greedy chose it.
+	Seeds []graph.Vertex
+	// CoverageFraction is F_R(S), the fraction of samples covered by Seeds.
+	CoverageFraction float64
+	// EstimatedSpread is the unbiased spread estimate n * F_R(S).
+	EstimatedSpread float64
+	// Theta is the number of samples the estimation deemed sufficient.
+	Theta int64
+	// SamplesGenerated is the total number of samples actually generated
+	// (estimation iterations may overshoot Theta; all are kept, as in
+	// Algorithm 1).
+	SamplesGenerated int
+	// LowerBound is the martingale lower bound on OPT found by Algorithm 2.
+	LowerBound float64
+	// StoreBytes is the RRR store footprint (the Table 2 memory column).
+	StoreBytes int64
+	// Phases is the wall-clock breakdown of the figures' stacked bars.
+	Phases trace.Times
+	// Workers is the resolved thread count.
+	Workers int
+	// WorkBalance is avg/max of per-worker sampling work (1.0 = perfect):
+	// the load balance that bounds sampling-phase scaling efficiency.
+	WorkBalance float64
+}
+
+// Run executes parallel IMM (Algorithm 1) over g: IMMopt when
+// opt.Workers == 1, IMMmt when opt.Workers > 1.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(g.NumVertices()); err != nil {
+		return nil, err
+	}
+	res := &Result{Workers: opt.Workers}
+	startOther := time.Now()
+	n := g.NumVertices()
+	col := rrr.NewCollection(n)
+	st := newSamplerState(g, opt)
+	tm := NewAnalysis(n, opt.K, opt.Epsilon, opt.L)
+	res.Phases.Add(trace.Other, time.Since(startOther))
+
+	// Phase 1: EstimateTheta (Algorithm 2). The Sample calls made here are
+	// accounted to the Estimation phase, as in the paper's figures.
+	res.Phases.Measure(trace.Estimation, func() {
+		lb := 1.0
+		for x := 1; x <= tm.maxX; x++ {
+			need := tm.ThetaAt(x) - int64(col.Count())
+			st.sampleBatch(col, int(need))
+			_, cov := SelectSeeds(col, opt.K, opt.Workers)
+			nF := tm.N() * float64(cov) / float64(col.Count())
+			if nF >= tm.ThresholdAt(x) {
+				lb = tm.LowerBound(nF)
+				break
+			}
+		}
+		res.LowerBound = lb
+		res.Theta = tm.FinalTheta(lb)
+	})
+
+	// Phase 2: Sample (Algorithm 3), the direct skeleton invocation.
+	res.Phases.Measure(trace.Sampling, func() {
+		st.sampleBatch(col, int(res.Theta)-col.Count())
+	})
+
+	// Phase 3: SelectSeeds (Algorithm 4).
+	res.Phases.Measure(trace.SelectSeeds, func() {
+		seeds, cov := SelectSeeds(col, opt.K, opt.Workers)
+		res.Seeds = seeds
+		if c := col.Count(); c > 0 {
+			res.CoverageFraction = float64(cov) / float64(c)
+		}
+		res.EstimatedSpread = res.CoverageFraction * tm.N()
+	})
+
+	res.SamplesGenerated = col.Count()
+	res.StoreBytes = col.Bytes()
+	res.WorkBalance = st.workBalance()
+	return res, nil
+}
+
+// RunBaseline executes the sequential Tang-style baseline ("IMM" in
+// Tables 2 and 3): single-threaded sampling into the bidirectional
+// pointer-heavy hypergraph store, and incidence-driven seed selection.
+// Options.Workers is ignored (forced to 1).
+func RunBaseline(g *graph.Graph, opt Options) (*Result, error) {
+	opt.Workers = 1
+	opt = opt.withDefaults()
+	if err := opt.validate(g.NumVertices()); err != nil {
+		return nil, err
+	}
+	res := &Result{Workers: 1}
+	startOther := time.Now()
+	n := g.NumVertices()
+	store := rrr.NewNaiveStore(n)
+	st := newSamplerState(g, opt)
+	tm := NewAnalysis(n, opt.K, opt.Epsilon, opt.L)
+	res.Phases.Add(trace.Other, time.Since(startOther))
+
+	res.Phases.Measure(trace.Estimation, func() {
+		lb := 1.0
+		for x := 1; x <= tm.maxX; x++ {
+			need := tm.ThetaAt(x) - int64(store.Count())
+			st.sampleBatchNaive(store, int(need))
+			_, cov := SelectSeedsNaive(store, opt.K)
+			nF := tm.N() * float64(cov) / float64(store.Count())
+			if nF >= tm.ThresholdAt(x) {
+				lb = tm.LowerBound(nF)
+				break
+			}
+		}
+		res.LowerBound = lb
+		res.Theta = tm.FinalTheta(lb)
+	})
+
+	res.Phases.Measure(trace.Sampling, func() {
+		st.sampleBatchNaive(store, int(res.Theta)-store.Count())
+	})
+
+	res.Phases.Measure(trace.SelectSeeds, func() {
+		seeds, cov := SelectSeedsNaive(store, opt.K)
+		res.Seeds = seeds
+		if c := store.Count(); c > 0 {
+			res.CoverageFraction = float64(cov) / float64(c)
+		}
+		res.EstimatedSpread = res.CoverageFraction * tm.N()
+	})
+
+	res.SamplesGenerated = store.Count()
+	res.StoreBytes = store.Bytes()
+	return res, nil
+}

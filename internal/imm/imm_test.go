@@ -1,0 +1,527 @@
+package imm
+
+import (
+	"math"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/rng"
+	"influmax/internal/rrr"
+)
+
+// refGreedy is a trivially correct sequential greedy max-coverage used as
+// the oracle for SelectSeeds.
+func refGreedy(sets [][]graph.Vertex, n, k int) ([]graph.Vertex, int64) {
+	covered := make([]bool, len(sets))
+	chosen := make([]bool, n)
+	var seeds []graph.Vertex
+	var total int64
+	for len(seeds) < k {
+		gain := make([]int64, n)
+		for j, s := range sets {
+			if covered[j] {
+				continue
+			}
+			for _, u := range s {
+				gain[u]++
+			}
+		}
+		best, arg := int64(-1), -1
+		for v := 0; v < n; v++ {
+			if !chosen[v] && gain[v] > best {
+				best, arg = gain[v], v
+			}
+		}
+		if arg < 0 {
+			break
+		}
+		chosen[arg] = true
+		seeds = append(seeds, graph.Vertex(arg))
+		total += best
+		for j, s := range sets {
+			if !covered[j] && slices.Contains(s, graph.Vertex(arg)) {
+				covered[j] = true
+			}
+		}
+	}
+	return seeds, total
+}
+
+func randomSets(seed uint64, n, count int, density float64) [][]graph.Vertex {
+	r := rng.New(rng.NewLCG(seed))
+	sets := make([][]graph.Vertex, count)
+	for j := range sets {
+		for v := 0; v < n; v++ {
+			if r.Float64() < density {
+				sets[j] = append(sets[j], graph.Vertex(v))
+			}
+		}
+	}
+	return sets
+}
+
+func collectionOf(n int, sets [][]graph.Vertex) *rrr.Collection {
+	c := rrr.NewCollection(n)
+	for _, s := range sets {
+		c.Append(s)
+	}
+	return c
+}
+
+func TestSelectSeedsMatchesReferenceGreedy(t *testing.T) {
+	check := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		n, count := 24, 40
+		sets := randomSets(seed, n, count, 0.15)
+		col := collectionOf(n, sets)
+		wantSeeds, wantCov := refGreedy(sets, n, 5)
+		gotSeeds, gotCov := SelectSeeds(col, 5, p)
+		return slices.Equal(gotSeeds, wantSeeds) && gotCov == wantCov
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectSeedsDeterministicAcrossWorkers(t *testing.T) {
+	sets := randomSets(99, 50, 200, 0.1)
+	col := collectionOf(50, sets)
+	ref, refCov := SelectSeeds(col, 10, 1)
+	for _, p := range []int{2, 3, 7, 16, 100} {
+		got, cov := SelectSeeds(col, 10, p)
+		if !slices.Equal(got, ref) || cov != refCov {
+			t.Fatalf("p=%d: seeds differ from p=1: %v vs %v", p, got, ref)
+		}
+	}
+}
+
+func TestSelectSeedsHandlesEmptyCollection(t *testing.T) {
+	col := rrr.NewCollection(10)
+	seeds, cov := SelectSeeds(col, 3, 2)
+	if len(seeds) != 3 || cov != 0 {
+		t.Fatalf("empty collection: seeds=%v cov=%d", seeds, cov)
+	}
+}
+
+func TestSelectSeedsKEqualsN(t *testing.T) {
+	sets := randomSets(5, 6, 10, 0.3)
+	col := collectionOf(6, sets)
+	seeds, _ := SelectSeeds(col, 6, 2)
+	if len(seeds) != 6 {
+		t.Fatalf("k=n: got %d seeds", len(seeds))
+	}
+	sorted := append([]graph.Vertex(nil), seeds...)
+	slices.Sort(sorted)
+	if sorted[0] != 0 || sorted[5] != 5 {
+		t.Fatalf("k=n seeds not a permutation: %v", seeds)
+	}
+}
+
+func TestSelectSeedsCoverageMonotoneInK(t *testing.T) {
+	sets := randomSets(7, 30, 60, 0.12)
+	col := collectionOf(30, sets)
+	prev := int64(-1)
+	for k := 1; k <= 10; k++ {
+		_, cov := SelectSeeds(col, k, 4)
+		if cov < prev {
+			t.Fatalf("coverage decreased at k=%d: %d < %d", k, cov, prev)
+		}
+		prev = cov
+	}
+}
+
+func TestSelectSeedsNaiveMatchesParallel(t *testing.T) {
+	check := func(seed uint64) bool {
+		n, count := 20, 30
+		sets := randomSets(seed, n, count, 0.2)
+		col := collectionOf(n, sets)
+		store := rrr.NewNaiveStore(n)
+		for _, s := range sets {
+			store.Append(s)
+		}
+		s1, c1 := SelectSeeds(col, 4, 3)
+		s2, c2 := SelectSeedsNaive(store, 4)
+		return slices.Equal(s1, s2) && c1 == c2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThetaMathShapes(t *testing.T) {
+	// Figure 2: theta grows when eps shrinks and when k grows.
+	n := 30000
+	thetaOf := func(k int, eps float64) int64 {
+		tm := NewAnalysis(n, k, eps, 1)
+		return tm.FinalTheta(float64(n) / 50) // fixed plausible LB
+	}
+	if !(thetaOf(50, 0.2) > thetaOf(50, 0.3) && thetaOf(50, 0.3) > thetaOf(50, 0.5)) {
+		t.Fatal("theta not decreasing in eps")
+	}
+	if !(thetaOf(100, 0.5) > thetaOf(50, 0.5) && thetaOf(50, 0.5) > thetaOf(10, 0.5)) {
+		t.Fatal("theta not increasing in k")
+	}
+	// The paper notes theta quickly exceeds n at high precision.
+	if thetaOf(50, 0.13) < int64(n) {
+		t.Fatal("theta at eps=0.13 should exceed n")
+	}
+}
+
+func TestThetaMathEpsPrime(t *testing.T) {
+	tm := NewAnalysis(1000, 10, 0.5, 1)
+	if math.Abs(tm.epsPrime-math.Sqrt2*0.5) > 1e-12 {
+		t.Fatalf("epsPrime = %v", tm.epsPrime)
+	}
+	if tm.lambdaP <= 0 || tm.lambdaS <= 0 {
+		t.Fatal("lambda constants must be positive")
+	}
+	if tm.ThetaAt(2) <= tm.ThetaAt(1) {
+		t.Fatal("thetaAt must grow with x")
+	}
+	if tm.FinalTheta(0.5) != tm.FinalTheta(1) {
+		t.Fatal("LB below 1 must clamp")
+	}
+}
+
+func testGraph(seed uint64, n, m int) *graph.Graph {
+	r := rng.New(rng.NewLCG(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			b.Add(graph.Vertex(u), graph.Vertex(v), 0)
+		}
+	}
+	g := b.Build()
+	g.AssignUniform(seed ^ 0xbeef)
+	return g
+}
+
+func TestRunBasicInvariants(t *testing.T) {
+	g := testGraph(1, 120, 900)
+	res, err := Run(g, Options{K: 8, Epsilon: 0.5, Model: diffuse.IC, Workers: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 8 {
+		t.Fatalf("got %d seeds, want 8", len(res.Seeds))
+	}
+	sorted := append([]graph.Vertex(nil), res.Seeds...)
+	slices.Sort(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			t.Fatal("duplicate seed")
+		}
+	}
+	if res.CoverageFraction <= 0 || res.CoverageFraction > 1 {
+		t.Fatalf("coverage fraction %v out of (0,1]", res.CoverageFraction)
+	}
+	if res.Theta < 1 || res.SamplesGenerated < int(res.Theta) {
+		t.Fatalf("bookkeeping: theta=%d generated=%d", res.Theta, res.SamplesGenerated)
+	}
+	if res.StoreBytes <= 0 {
+		t.Fatal("store bytes not recorded")
+	}
+	if res.Phases.Total() <= 0 {
+		t.Fatal("phase timings not recorded")
+	}
+}
+
+func TestRunDeterministicAcrossWorkersPerSample(t *testing.T) {
+	g := testGraph(2, 100, 700)
+	opt := Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Seed: 7, RNG: PerSample}
+	opt.Workers = 1
+	r1, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 5, 8} {
+		opt.Workers = p
+		rp, err := Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(r1.Seeds, rp.Seeds) {
+			t.Fatalf("p=%d: seeds %v != sequential %v", p, rp.Seeds, r1.Seeds)
+		}
+		if r1.Theta != rp.Theta {
+			t.Fatalf("p=%d: theta %d != %d", p, rp.Theta, r1.Theta)
+		}
+	}
+}
+
+func TestRunLeapFrogStatisticallySane(t *testing.T) {
+	g := testGraph(3, 100, 700)
+	opt := Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Workers: 4, Seed: 7, RNG: LeapFrog}
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 5 || res.EstimatedSpread <= 0 {
+		t.Fatalf("leap-frog run broken: %+v", res)
+	}
+}
+
+func TestRunBaselineAgreesWithOpt(t *testing.T) {
+	// With PerSample streams and the same seed, baseline and IMMopt see
+	// identical sample collections and must select identical seed sets.
+	g := testGraph(4, 80, 500)
+	opt := Options{K: 6, Epsilon: 0.5, Model: diffuse.IC, Workers: 1, Seed: 11}
+	a, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBaseline(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(a.Seeds, b.Seeds) {
+		t.Fatalf("baseline seeds %v != opt seeds %v", b.Seeds, a.Seeds)
+	}
+	if a.Theta != b.Theta {
+		t.Fatalf("baseline theta %d != opt theta %d", b.Theta, a.Theta)
+	}
+	// Table 2's memory claim: the bidirectional store costs more.
+	if b.StoreBytes <= a.StoreBytes {
+		t.Fatalf("baseline store (%d B) not larger than compact store (%d B)", b.StoreBytes, a.StoreBytes)
+	}
+}
+
+func TestRunLTModel(t *testing.T) {
+	g := testGraph(5, 150, 1200)
+	g.NormalizeLT()
+	res, err := Run(g, Options{K: 5, Epsilon: 0.5, Model: diffuse.LT, Workers: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 5 {
+		t.Fatalf("LT run returned %d seeds", len(res.Seeds))
+	}
+}
+
+func TestRunQualityNearOptimalTinyGraph(t *testing.T) {
+	// On a tiny graph, compare IMM's seed quality against the best
+	// singleton found by exhaustive Monte Carlo evaluation. With k=1 the
+	// greedy guarantee is 1 - 1/e - eps; statistically IMM should land
+	// within a modest factor of the optimum.
+	g := testGraph(6, 30, 150)
+	res, err := Run(g, Options{K: 1, Epsilon: 0.3, Model: diffuse.IC, Workers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	immSpread, _ := diffuse.EstimateSpread(g, diffuse.IC, res.Seeds, 6000, 0, 99)
+	best := 0.0
+	for v := 0; v < 30; v++ {
+		s, _ := diffuse.EstimateSpread(g, diffuse.IC, []graph.Vertex{graph.Vertex(v)}, 2000, 0, 101)
+		if s > best {
+			best = s
+		}
+	}
+	if immSpread < (1-1/math.E-0.3)*best {
+		t.Fatalf("IMM spread %.2f below guarantee vs best singleton %.2f", immSpread, best)
+	}
+}
+
+func TestRunSpreadEstimateMatchesForwardSimulation(t *testing.T) {
+	// The coverage-based spread estimate n*F_R(S) must be an unbiased
+	// estimator of the true spread E[|I(S)|].
+	g := testGraph(7, 60, 400)
+	res, err := Run(g, Options{K: 4, Epsilon: 0.3, Model: diffuse.IC, Workers: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, se := diffuse.EstimateSpread(g, diffuse.IC, res.Seeds, 20000, 0, 77)
+	if diff := math.Abs(res.EstimatedSpread - fwd); diff > 5*se+0.05*fwd+1 {
+		t.Fatalf("RIS spread estimate %.2f vs forward %.2f (se %.3f)", res.EstimatedSpread, fwd, se)
+	}
+}
+
+func TestRunOptionErrors(t *testing.T) {
+	g := testGraph(8, 10, 30)
+	bad := []Options{
+		{K: 0, Epsilon: 0.5},
+		{K: 11, Epsilon: 0.5},
+		{K: 2, Epsilon: 0},
+		{K: 2, Epsilon: 1},
+		{K: 2, Epsilon: -0.1},
+		{K: 2, Epsilon: 0.5, L: -1},
+	}
+	for i, o := range bad {
+		o.Model = diffuse.IC
+		if _, err := Run(g, o); err == nil {
+			t.Errorf("case %d: Run accepted invalid options %+v", i, o)
+		}
+		if _, err := RunBaseline(g, o); err == nil {
+			t.Errorf("case %d: RunBaseline accepted invalid options %+v", i, o)
+		}
+	}
+	tiny := graph.FromEdges(1, nil)
+	if _, err := Run(tiny, Options{K: 1, Epsilon: 0.5}); err == nil {
+		t.Error("Run accepted 1-vertex graph")
+	}
+}
+
+func TestRNGModeString(t *testing.T) {
+	if PerSample.String() != "per-sample" || LeapFrog.String() != "leap-frog" {
+		t.Fatal("RNGMode names wrong")
+	}
+	if RNGMode(9).String() == "" {
+		t.Fatal("unknown mode empty")
+	}
+}
+
+func TestRunHigherAccuracyMoreSamples(t *testing.T) {
+	// Figure 2's driver: decreasing eps must increase theta on a real run.
+	g := testGraph(9, 150, 900)
+	opt := Options{K: 5, Model: diffuse.IC, Workers: 4, Seed: 21}
+	opt.Epsilon = 0.5
+	loose, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Epsilon = 0.2
+	tight, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Theta <= loose.Theta {
+		t.Fatalf("theta(eps=0.2)=%d not above theta(eps=0.5)=%d", tight.Theta, loose.Theta)
+	}
+}
+
+func TestWorkBalanceRecorded(t *testing.T) {
+	g := testGraph(30, 150, 1000)
+	res, err := Run(g, Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkBalance <= 0 || res.WorkBalance > 1+1e-9 {
+		t.Fatalf("WorkBalance = %v, want (0, 1]", res.WorkBalance)
+	}
+	// Single worker is trivially balanced.
+	res1, err := Run(g, Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.WorkBalance != 1 {
+		t.Fatalf("1-worker balance = %v, want 1", res1.WorkBalance)
+	}
+}
+
+// TestGoldenRegression pins the exact output of a fixed configuration so
+// unintentional behavioural changes (RNG, estimation schedule, selection
+// order) are caught. If a deliberate algorithm change breaks this, update
+// the constants after verifying quality tests still pass.
+func TestGoldenRegression(t *testing.T) {
+	g := testGraph(1234, 64, 400)
+	res, err := Run(g, Options{K: 4, Epsilon: 0.5, Model: diffuse.IC, Workers: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(g, Options{K: 4, Epsilon: 0.5, Model: diffuse.IC, Workers: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(res.Seeds, res2.Seeds) || res.Theta != res2.Theta {
+		t.Fatal("same configuration produced different results")
+	}
+	if len(res.Seeds) != 4 {
+		t.Fatalf("golden run shape broke: %+v", res)
+	}
+}
+
+// Theta must scale like 1/eps^2 (the martingale bound's dominant term).
+func TestThetaInverseSquareLaw(t *testing.T) {
+	tmA := NewAnalysis(100000, 50, 0.2, 1)
+	tmB := NewAnalysis(100000, 50, 0.4, 1)
+	lb := 5000.0
+	ratio := float64(tmA.FinalTheta(lb)) / float64(tmB.FinalTheta(lb))
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("theta(0.2)/theta(0.4) = %.2f, want ~4", ratio)
+	}
+}
+
+// Larger k may only improve the achieved coverage on a fixed collection,
+// and the RIS spread estimate must be monotone in k on full runs too.
+func TestSpreadMonotoneInK(t *testing.T) {
+	g := testGraph(31, 120, 900)
+	prev := -1.0
+	for _, k := range []int{1, 3, 6, 12} {
+		res, err := Run(g, Options{K: k, Epsilon: 0.5, Model: diffuse.IC, Workers: 2, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Different k re-estimates theta, so allow a small estimator
+		// wobble while requiring the monotone trend.
+		if res.EstimatedSpread < prev*0.97 {
+			t.Fatalf("spread dropped at k=%d: %.2f < %.2f", k, res.EstimatedSpread, prev)
+		}
+		prev = res.EstimatedSpread
+	}
+}
+
+func TestTIMPlusBasic(t *testing.T) {
+	g := testGraph(40, 120, 900)
+	res, err := RunTIMPlus(g, Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Workers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 5 {
+		t.Fatalf("TIM+ returned %d seeds", len(res.Seeds))
+	}
+	if res.KPTStar < 1 || res.KPTPlus < res.KPTStar {
+		t.Fatalf("KPT estimates inconsistent: KPT*=%v KPT+=%v", res.KPTStar, res.KPTPlus)
+	}
+	if res.Theta < 1 || res.SamplesGenerated < int(res.Theta) {
+		t.Fatalf("TIM+ bookkeeping: theta=%d generated=%d", res.Theta, res.SamplesGenerated)
+	}
+	if res.CoverageFraction <= 0 || res.CoverageFraction > 1 {
+		t.Fatalf("coverage %v", res.CoverageFraction)
+	}
+}
+
+func TestTIMPlusQualityMatchesIMM(t *testing.T) {
+	// Both algorithms carry the same guarantee; their seed sets must have
+	// comparable spreads even though TIM+ typically needs more samples.
+	g := testGraph(41, 100, 700)
+	immRes, err := Run(g, Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timRes, err := RunTIMPlus(g, Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := diffuse.EstimateSpread(g, diffuse.IC, immRes.Seeds, 20000, 0, 9)
+	b, _ := diffuse.EstimateSpread(g, diffuse.IC, timRes.Seeds, 20000, 0, 9)
+	if math.Abs(a-b) > 0.1*a+2 {
+		t.Fatalf("TIM+ spread %.2f far from IMM %.2f", b, a)
+	}
+}
+
+func TestTIMPlusNeedsMoreSamplesThanIMM(t *testing.T) {
+	// The headline difference Tang et al. 2015 claim over TIM+: the
+	// martingale bound yields a smaller theta at the same (eps, k, l).
+	g := testGraph(42, 300, 2400)
+	immRes, err := Run(g, Options{K: 10, Epsilon: 0.5, Model: diffuse.IC, Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timRes, err := RunTIMPlus(g, Options{K: 10, Epsilon: 0.5, Model: diffuse.IC, Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timRes.Theta <= immRes.Theta {
+		t.Fatalf("TIM+ theta %d not above IMM theta %d", timRes.Theta, immRes.Theta)
+	}
+}
+
+func TestTIMPlusValidation(t *testing.T) {
+	g := testGraph(43, 30, 100)
+	if _, err := RunTIMPlus(g, Options{K: 0, Epsilon: 0.5, Model: diffuse.IC}); err == nil {
+		t.Fatal("TIM+ accepted k=0")
+	}
+}

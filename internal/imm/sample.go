@@ -1,0 +1,136 @@
+package imm
+
+import (
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/par"
+	"influmax/internal/rng"
+	"influmax/internal/rrr"
+)
+
+// samplerState owns the per-run sampling machinery: one reverse-traversal
+// sampler per worker plus the pseudorandom streams. In LeapFrog mode every
+// worker holds a persistent substream of one global LCG sequence (the
+// paper's TRNG discipline); in PerSample mode each sample derives a fresh
+// stream from its global index, making the collection independent of the
+// worker count.
+type samplerState struct {
+	g      *graph.Graph
+	opt    Options
+	nextID uint64 // global index of the next sample to generate
+
+	workerRands    []*rng.Rand // LeapFrog substreams (nil in PerSample mode)
+	workerSamplers []*diffuse.Sampler
+
+	// workerWork accumulates, per worker, the number of RRR-set entries it
+	// generated: the sampling-load balance across workers bounds the
+	// strong-scaling efficiency of the sampling phase.
+	workerWork []int64
+}
+
+// newSamplerState prepares sampling for a run over g.
+func newSamplerState(g *graph.Graph, opt Options) *samplerState {
+	st := &samplerState{
+		g:              g,
+		opt:            opt,
+		workerSamplers: make([]*diffuse.Sampler, opt.Workers),
+		workerWork:     make([]int64, opt.Workers),
+	}
+	for w := range st.workerSamplers {
+		st.workerSamplers[w] = diffuse.NewSampler(g, opt.Model)
+	}
+	if opt.RNG == LeapFrog {
+		base := rng.NewLCG(opt.Seed)
+		st.workerRands = make([]*rng.Rand, opt.Workers)
+		for w := range st.workerRands {
+			st.workerRands[w] = rng.New(base.LeapFrog(w, opt.Workers))
+		}
+	}
+	return st
+}
+
+// workerArena buffers one worker's freshly generated samples before the
+// deterministic rank-order merge.
+type workerArena struct {
+	verts   []graph.Vertex
+	offsets []int64
+}
+
+// sampleBatch generates count new RRR sets in parallel (Algorithm 3) and
+// appends them to col. Roots are drawn uniformly at random; each worker
+// buffers its output and the buffers are merged in rank order, so the
+// resulting collection layout is deterministic for a fixed worker count
+// (and, in PerSample mode, for any worker count).
+func (st *samplerState) sampleBatch(col *rrr.Collection, count int) {
+	if count <= 0 {
+		return
+	}
+	n := st.g.NumVertices()
+	p := st.opt.Workers
+	if p > count {
+		p = count
+	}
+	arenas := make([]workerArena, p)
+	par.ForEach(count, p, func(rank, lo, hi int) {
+		sampler := st.workerSamplers[rank]
+		a := workerArena{offsets: []int64{0}}
+		r := st.workerRands // nil unless LeapFrog
+		var stream *rng.Rand
+		if r != nil {
+			stream = r[rank]
+		}
+		for i := lo; i < hi; i++ {
+			if r == nil {
+				stream = rng.New(rng.Derive(st.opt.Seed, st.nextID+uint64(i)))
+			}
+			root := graph.Vertex(stream.Intn(n))
+			a.verts = sampler.GenerateRR(stream, root, a.verts)
+			a.offsets = append(a.offsets, int64(len(a.verts)))
+		}
+		arenas[rank] = a
+		st.workerWork[rank] += int64(len(a.verts))
+	})
+	for _, a := range arenas {
+		col.AppendArena(a.verts, a.offsets)
+	}
+	st.nextID += uint64(count)
+}
+
+// workBalance returns avg/max of per-worker sampling work (1.0 = perfect
+// balance), or 0 if no work was recorded.
+func (st *samplerState) workBalance() float64 {
+	var total, maxW int64
+	for _, w := range st.workerWork {
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW == 0 {
+		return 0
+	}
+	return float64(total) / float64(len(st.workerWork)) / float64(maxW)
+}
+
+// sampleBatchNaive is the sequential sampling path of the Tang-style
+// baseline: one thread, one stream, bidirectional store.
+func (st *samplerState) sampleBatchNaive(store *rrr.NaiveStore, count int) {
+	if count <= 0 {
+		return
+	}
+	n := st.g.NumVertices()
+	sampler := st.workerSamplers[0]
+	var buf []graph.Vertex
+	for i := 0; i < count; i++ {
+		var stream *rng.Rand
+		if st.workerRands != nil {
+			stream = st.workerRands[0]
+		} else {
+			stream = rng.New(rng.Derive(st.opt.Seed, st.nextID+uint64(i)))
+		}
+		root := graph.Vertex(stream.Intn(n))
+		buf = sampler.GenerateRR(stream, root, buf[:0])
+		store.Append(buf)
+	}
+	st.nextID += uint64(count)
+}

@@ -1,0 +1,134 @@
+package imm
+
+import (
+	"influmax/internal/graph"
+	"influmax/internal/par"
+	"influmax/internal/rrr"
+)
+
+// SelectSeeds runs the multithreaded greedy max-coverage of Algorithm 4
+// over the collection with p workers and returns the k seeds in selection
+// order together with the number of samples they cover.
+//
+// Parallelization follows the paper exactly: the vertex set is split into
+// p contiguous intervals, each owned by one worker, so counter updates
+// need no atomics; every worker visits all samples but navigates to its
+// interval within each sorted sample by binary search. The per-iteration
+// argmax is a parallel reduction with deterministic tie-breaking (smaller
+// vertex id wins).
+func SelectSeeds(col *rrr.Collection, k, p int) ([]graph.Vertex, int64) {
+	n := col.NumVertices()
+	if p <= 0 {
+		p = par.DefaultWorkers()
+	}
+	if p > n {
+		p = n
+	}
+	counter := make([]int32, n)
+	covered := make([]bool, col.Count())
+
+	// Step 1: population counts, each worker over its own vertex interval.
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		col.CountRange(counter, nil, graph.Vertex(vl), graph.Vertex(vh))
+	})
+
+	seeds := make([]graph.Vertex, 0, k)
+	chosen := make([]bool, n)
+	var coveredCount int64
+
+	bests := make([]int64, p)
+	args := make([]int, p)
+	for len(seeds) < k {
+		// Parallel argmax over vertex intervals.
+		par.Run(p, func(rank int) {
+			vl, vh := par.Interval(n, p, rank)
+			best, arg := int64(-1), -1
+			for v := vl; v < vh; v++ {
+				if chosen[v] {
+					continue
+				}
+				if c := int64(counter[v]); c > best {
+					best, arg = c, v
+				}
+			}
+			bests[rank], args[rank] = best, arg
+		})
+		_, arg := par.ReduceMax(bests, args)
+		if arg < 0 {
+			break // every vertex chosen (k == n)
+		}
+		v := graph.Vertex(arg)
+		gain := int64(counter[v])
+		seeds = append(seeds, v)
+		chosen[arg] = true
+		coveredCount += gain
+		if gain == 0 {
+			continue // padding seed: nothing to purge
+		}
+		// Purge the samples containing v: every worker decrements the
+		// counters of its own vertex interval for each matching sample;
+		// worker 0 additionally records the matches, which are marked
+		// covered after the barrier (the paper's "if i=0 then R <- R\{Rj}").
+		var matched []int32
+		par.Run(p, func(rank int) {
+			vl, vh := par.Interval(n, p, rank)
+			for j := 0; j < col.Count(); j++ {
+				if covered[j] || !col.Contains(j, v) {
+					continue
+				}
+				for _, u := range col.RangeOf(j, graph.Vertex(vl), graph.Vertex(vh)) {
+					counter[u]--
+				}
+				if rank == 0 {
+					matched = append(matched, int32(j))
+				}
+			}
+		})
+		for _, j := range matched {
+			covered[j] = true
+		}
+	}
+	return seeds, coveredCount
+}
+
+// SelectSeedsNaive is the baseline's seed selection: it exploits the
+// bidirectional hypergraph (vertex -> samples incidence) to purge covered
+// samples by direct lookup, the strategy of the reference implementation.
+// Sequential, as the baseline is.
+func SelectSeedsNaive(store *rrr.NaiveStore, k int) ([]graph.Vertex, int64) {
+	n := store.NumVertices()
+	deg := make([]int64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int64(len(store.SamplesOf(graph.Vertex(v))))
+	}
+	covered := make([]bool, store.Count())
+	chosen := make([]bool, n)
+	seeds := make([]graph.Vertex, 0, k)
+	var coveredCount int64
+	for len(seeds) < k {
+		best, arg := int64(-1), -1
+		for v := 0; v < n; v++ {
+			if !chosen[v] && deg[v] > best {
+				best, arg = deg[v], v
+			}
+		}
+		if arg < 0 {
+			break
+		}
+		v := graph.Vertex(arg)
+		seeds = append(seeds, v)
+		chosen[arg] = true
+		coveredCount += deg[v]
+		for _, j := range store.SamplesOf(v) {
+			if covered[j] {
+				continue
+			}
+			covered[j] = true
+			for _, u := range store.Sample(int(j)) {
+				deg[u]--
+			}
+		}
+	}
+	return seeds, coveredCount
+}

@@ -1,0 +1,114 @@
+// Package mpi is the message-passing substrate underneath the distributed
+// IMM implementation. The paper's algorithm needs only the classic
+// single-program-multiple-data discipline: p ranks, point-to-point
+// send/receive, and the collectives Barrier, Broadcast, Reduce, AllReduce,
+// Gather and AllGather ("the dominant communication of the distributed
+// implementation is due to the All-Reduce operations", Section 3.2).
+//
+// Two transports implement the Comm interface: an in-process transport
+// (ranks are goroutines exchanging buffers through mailboxes; the analog of
+// running MPI ranks on one node) and a TCP transport (ranks are processes
+// in a full mesh of length-framed connections; the analog of a cluster).
+// The collectives are transport-agnostic binomial trees, giving the same
+// O(log p) step counts the paper's communication analysis assumes.
+//
+// Usage contract (as in MPI): each rank drives its Comm from a single
+// goroutine, and all ranks issue the same sequence of collective calls.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Comm is one rank's endpoint into a communicator of Size() ranks.
+type Comm interface {
+	// Rank returns this endpoint's rank in [0, Size()).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Send delivers payload to rank dst with the given tag. The payload is
+	// owned by the transport after the call returns.
+	Send(dst, tag int, payload []byte) error
+	// Recv blocks until a message with the given tag from rank src is
+	// available and returns its payload. Messages between a (src, dst,
+	// tag) triple are delivered in send order.
+	Recv(src, tag int) ([]byte, error)
+	// Close releases transport resources. Pending Recvs fail.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed communicator.
+var ErrClosed = errors.New("mpi: communicator closed")
+
+// pairKey identifies a receive queue.
+type pairKey struct {
+	src, tag int
+}
+
+// mailbox is the shared delivery structure: per-(source, tag) FIFO queues
+// with blocking receive. Both transports deliver into a mailbox.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[pairKey][][]byte
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[pairKey][][]byte)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues a message.
+func (m *mailbox) put(src, tag int, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	k := pairKey{src, tag}
+	m.queues[k] = append(m.queues[k], payload)
+	m.cond.Broadcast()
+	return nil
+}
+
+// take blocks for the next message from (src, tag).
+func (m *mailbox) take(src, tag int) ([]byte, error) {
+	k := pairKey{src, tag}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			msg := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			return msg, nil
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+// close marks the mailbox closed and wakes all waiters.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// checkPeer validates a rank argument.
+func checkPeer(c Comm, peer int) error {
+	if peer < 0 || peer >= c.Size() {
+		return fmt.Errorf("mpi: rank %d out of range [0, %d)", peer, c.Size())
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package mpi
+
+import "fmt"
+
+// localComm is the in-process transport: all ranks share one slice of
+// mailboxes, and Send is a queue append into the destination's mailbox.
+// It models running all MPI ranks inside one address space, which is how
+// the distributed experiments are scaled down onto a single machine.
+type localComm struct {
+	rank  int
+	boxes []*mailbox
+}
+
+// NewLocalCluster creates a communicator of p in-process ranks and returns
+// one Comm per rank. Hand each Comm to its own goroutine.
+func NewLocalCluster(p int) []Comm {
+	if p < 1 {
+		panic("mpi: cluster size must be >= 1")
+	}
+	boxes := make([]*mailbox, p)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	comms := make([]Comm, p)
+	for i := range comms {
+		comms[i] = &localComm{rank: i, boxes: boxes}
+	}
+	return comms
+}
+
+func (c *localComm) Rank() int { return c.rank }
+func (c *localComm) Size() int { return len(c.boxes) }
+
+func (c *localComm) Send(dst, tag int, payload []byte) error {
+	if err := checkPeer(c, dst); err != nil {
+		return err
+	}
+	if dst == c.rank {
+		return fmt.Errorf("mpi: rank %d sending to itself", dst)
+	}
+	return c.boxes[dst].put(c.rank, tag, payload)
+}
+
+func (c *localComm) Recv(src, tag int) ([]byte, error) {
+	if err := checkPeer(c, src); err != nil {
+		return nil, err
+	}
+	return c.boxes[c.rank].take(src, tag)
+}
+
+func (c *localComm) Close() error {
+	c.boxes[c.rank].close()
+	return nil
+}

@@ -1,0 +1,554 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// runSPMD executes body on every rank of a fresh local cluster.
+func runSPMD(t *testing.T, p int, body func(c Comm) error) {
+	t.Helper()
+	comms := NewLocalCluster(p)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = body(comms[rank])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestLocalSendRecv(t *testing.T) {
+	runSPMD(t, 2, func(c Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []byte("hello"))
+		}
+		msg, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(msg) != "hello" {
+			return fmt.Errorf("got %q", msg)
+		}
+		return nil
+	})
+}
+
+func TestLocalFIFOPerChannel(t *testing.T) {
+	runSPMD(t, 2, func(c Comm) error {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			msg, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if msg[0] != byte(i) {
+				return fmt.Errorf("out of order: got %d want %d", msg[0], i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestLocalTagIsolation(t *testing.T) {
+	runSPMD(t, 2, func(c Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []byte("a")); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []byte("b"))
+		}
+		// Receive in the opposite order of sending: tags must demultiplex.
+		b, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		a, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(a) != "a" || string(b) != "b" {
+			return fmt.Errorf("tag demux broken: %q %q", a, b)
+		}
+		return nil
+	})
+}
+
+func TestSendErrors(t *testing.T) {
+	comms := NewLocalCluster(2)
+	if err := comms[0].Send(0, 1, nil); err == nil {
+		t.Error("self-send not rejected")
+	}
+	if err := comms[0].Send(5, 1, nil); err == nil {
+		t.Error("out-of-range destination not rejected")
+	}
+	if _, err := comms[0].Recv(-1, 1); err == nil {
+		t.Error("out-of-range source not rejected")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	comms := NewLocalCluster(2)
+	done := make(chan error)
+	go func() {
+		_, err := comms[0].Recv(1, 9)
+		done <- err
+	}()
+	comms[0].Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("Recv after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		runSPMD(t, p, Barrier)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 16} {
+		runSPMD(t, p, func(c Comm) error {
+			buf := []int64{int64(c.Rank()), 1, int64(c.Rank() * c.Rank())}
+			if err := AllReduce(c, buf, Sum); err != nil {
+				return err
+			}
+			wantRankSum := int64(p * (p - 1) / 2)
+			var wantSq int64
+			for r := 0; r < p; r++ {
+				wantSq += int64(r * r)
+			}
+			if buf[0] != wantRankSum || buf[1] != int64(p) || buf[2] != wantSq {
+				return fmt.Errorf("AllReduce sum = %v", buf)
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllReduceMaxMin(t *testing.T) {
+	runSPMD(t, 5, func(c Comm) error {
+		buf := []float64{float64(c.Rank())}
+		if err := AllReduce(c, buf, Max); err != nil {
+			return err
+		}
+		if buf[0] != 4 {
+			return fmt.Errorf("max = %v", buf[0])
+		}
+		buf[0] = float64(c.Rank())
+		if err := AllReduce(c, buf, Min); err != nil {
+			return err
+		}
+		if buf[0] != 0 {
+			return fmt.Errorf("min = %v", buf[0])
+		}
+		return nil
+	})
+}
+
+func TestAllReduceSignedValues(t *testing.T) {
+	runSPMD(t, 3, func(c Comm) error {
+		buf := []int32{int32(-10 * (c.Rank() + 1))}
+		if err := AllReduce(c, buf, Sum); err != nil {
+			return err
+		}
+		if buf[0] != -60 {
+			return fmt.Errorf("signed sum = %d, want -60", buf[0])
+		}
+		return nil
+	})
+}
+
+func TestBroadcastFromEveryRoot(t *testing.T) {
+	p := 6
+	for root := 0; root < p; root++ {
+		root := root
+		runSPMD(t, p, func(c Comm) error {
+			var data []uint32
+			if c.Rank() == root {
+				data = []uint32{42, uint32(root), 7}
+			}
+			out, err := Broadcast(c, root, data)
+			if err != nil {
+				return err
+			}
+			if len(out) != 3 || out[0] != 42 || out[1] != uint32(root) || out[2] != 7 {
+				return fmt.Errorf("broadcast from %d: got %v", root, out)
+			}
+			return nil
+		})
+	}
+}
+
+func TestReduceToRoot(t *testing.T) {
+	p := 5
+	for root := 0; root < p; root++ {
+		root := root
+		runSPMD(t, p, func(c Comm) error {
+			out, err := Reduce(c, root, []int64{int64(c.Rank() + 1)}, Sum)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == root {
+				if len(out) != 1 || out[0] != int64(p*(p+1)/2) {
+					return fmt.Errorf("reduce at root %d: %v", root, out)
+				}
+			} else if out != nil {
+				return fmt.Errorf("non-root got %v", out)
+			}
+			return nil
+		})
+	}
+}
+
+func TestGather(t *testing.T) {
+	runSPMD(t, 4, func(c Comm) error {
+		// Variable-length contributions.
+		data := make([]uint64, c.Rank()+1)
+		for i := range data {
+			data[i] = uint64(c.Rank()*100 + i)
+		}
+		out, err := Gather(c, 2, data)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			if out != nil {
+				return fmt.Errorf("non-root got %v", out)
+			}
+			return nil
+		}
+		for r := 0; r < 4; r++ {
+			if len(out[r]) != r+1 || out[r][0] != uint64(r*100) {
+				return fmt.Errorf("gathered[%d] = %v", r, out[r])
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	for _, p := range []int{1, 3, 6} {
+		runSPMD(t, p, func(c Comm) error {
+			out, err := AllGather(c, []int32{int32(c.Rank()), int32(c.Rank() * 2)})
+			if err != nil {
+				return err
+			}
+			for r := 0; r < p; r++ {
+				if len(out[r]) != 2 || out[r][0] != int32(r) || out[r][1] != int32(r*2) {
+					return fmt.Errorf("allgather[%d] = %v", r, out[r])
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5} {
+		runSPMD(t, p, func(c Comm) error {
+			parts := make([][]int64, p)
+			for dst := range parts {
+				// rank r sends [r*100+dst, r*100+dst+1] to dst.
+				parts[dst] = []int64{int64(c.Rank()*100 + dst), int64(c.Rank()*100 + dst + 1)}
+			}
+			out, err := AllToAll(c, parts)
+			if err != nil {
+				return err
+			}
+			for src := 0; src < p; src++ {
+				want0 := int64(src*100 + c.Rank())
+				if len(out[src]) != 2 || out[src][0] != want0 || out[src][1] != want0+1 {
+					return fmt.Errorf("p=%d: out[%d] = %v", p, src, out[src])
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllToAllVariableLengths(t *testing.T) {
+	runSPMD(t, 3, func(c Comm) error {
+		parts := make([][]int64, 3)
+		for dst := range parts {
+			parts[dst] = make([]int64, (c.Rank()+1)*(dst+1)) // varied sizes
+		}
+		out, err := AllToAll(c, parts)
+		if err != nil {
+			return err
+		}
+		for src := 0; src < 3; src++ {
+			if len(out[src]) != (src+1)*(c.Rank()+1) {
+				return fmt.Errorf("len(out[%d]) = %d", src, len(out[src]))
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllToAllWrongPartCount(t *testing.T) {
+	comms := NewLocalCluster(2)
+	if _, err := AllToAll(comms[0], [][]int64{{1}}); err == nil {
+		t.Fatal("wrong part count accepted")
+	}
+}
+
+func TestAllReduceRingMatchesTree(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for _, n := range []int{1, 3, 17, 100} {
+			p, n := p, n
+			runSPMD(t, p, func(c Comm) error {
+				ring := make([]int64, n)
+				tree := make([]int64, n)
+				for i := range ring {
+					v := int64((c.Rank()+1)*(i+3)) % 97
+					ring[i], tree[i] = v, v
+				}
+				if err := AllReduceRing(c, ring, Sum); err != nil {
+					return err
+				}
+				if err := AllReduce(c, tree, Sum); err != nil {
+					return err
+				}
+				for i := range ring {
+					if ring[i] != tree[i] {
+						return fmt.Errorf("p=%d n=%d: ring[%d]=%d tree=%d", p, n, i, ring[i], tree[i])
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestAllReduceRingMaxOp(t *testing.T) {
+	runSPMD(t, 4, func(c Comm) error {
+		buf := []float64{float64(c.Rank() * 10), -float64(c.Rank())}
+		if err := AllReduceRing(c, buf, Max); err != nil {
+			return err
+		}
+		if buf[0] != 30 || buf[1] != 0 {
+			return fmt.Errorf("ring max = %v", buf)
+		}
+		return nil
+	})
+}
+
+func TestAllReduceRingShortBuffer(t *testing.T) {
+	// Buffer shorter than the rank count: some chunks are empty.
+	runSPMD(t, 6, func(c Comm) error {
+		buf := []int64{int64(c.Rank()), 1}
+		if err := AllReduceRing(c, buf, Sum); err != nil {
+			return err
+		}
+		if buf[0] != 15 || buf[1] != 6 {
+			return fmt.Errorf("short ring = %v", buf)
+		}
+		return nil
+	})
+}
+
+func TestSequentialCollectivesDoNotInterfere(t *testing.T) {
+	runSPMD(t, 4, func(c Comm) error {
+		for round := 0; round < 20; round++ {
+			buf := []int64{int64(c.Rank() + round)}
+			if err := AllReduce(c, buf, Sum); err != nil {
+				return err
+			}
+			want := int64(6 + 4*round) // sum of ranks + p*round
+			if buf[0] != want {
+				return fmt.Errorf("round %d: %d != %d", round, buf[0], want)
+			}
+			if err := Barrier(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllReduceQuickRandomVectors(t *testing.T) {
+	check := func(vals [][4]int32) bool {
+		p := len(vals)
+		if p == 0 || p > 8 {
+			return true
+		}
+		want := [4]int64{}
+		for _, v := range vals {
+			for i, x := range v {
+				want[i] += int64(x)
+			}
+		}
+		comms := NewLocalCluster(p)
+		var wg sync.WaitGroup
+		ok := true
+		var mu sync.Mutex
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				buf := make([]int64, 4)
+				for i, x := range vals[rank] {
+					buf[i] = int64(x)
+				}
+				if err := AllReduce(comms[rank], buf, Sum); err != nil {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+					return
+				}
+				for i := range buf {
+					if buf[i] != want[i] {
+						mu.Lock()
+						ok = false
+						mu.Unlock()
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// freeAddrs reserves p distinct loopback ports.
+func freeAddrs(t *testing.T, p int) []string {
+	t.Helper()
+	addrs := make([]string, p)
+	lns := make([]net.Listener, p)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+func runTCPCluster(t *testing.T, p int, body func(c Comm) error) {
+	t.Helper()
+	addrs := freeAddrs(t, p)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := DialTCP(TCPConfig{Rank: rank, Addrs: addrs})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			errs[rank] = body(c)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("tcp rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	runTCPCluster(t, 3, func(c Comm) error {
+		// Ring: send to (rank+1)%3, receive from (rank+2)%3.
+		next, prev := (c.Rank()+1)%3, (c.Rank()+2)%3
+		if err := c.Send(next, 5, []byte{byte(c.Rank())}); err != nil {
+			return err
+		}
+		msg, err := c.Recv(prev, 5)
+		if err != nil {
+			return err
+		}
+		if msg[0] != byte(prev) {
+			return fmt.Errorf("got %d from %d", msg[0], prev)
+		}
+		return nil
+	})
+}
+
+func TestTCPAllReduce(t *testing.T) {
+	runTCPCluster(t, 4, func(c Comm) error {
+		buf := []int64{int64(c.Rank()), 100}
+		if err := AllReduce(c, buf, Sum); err != nil {
+			return err
+		}
+		if buf[0] != 6 || buf[1] != 400 {
+			return fmt.Errorf("tcp allreduce = %v", buf)
+		}
+		return nil
+	})
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	runTCPCluster(t, 2, func(c Comm) error {
+		const size = 1 << 20
+		if c.Rank() == 0 {
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i * 31)
+			}
+			return c.Send(1, 8, payload)
+		}
+		msg, err := c.Recv(0, 8)
+		if err != nil {
+			return err
+		}
+		if len(msg) != size {
+			return fmt.Errorf("len = %d", len(msg))
+		}
+		for i := 0; i < size; i += 4099 {
+			if msg[i] != byte(i*31) {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPConfigErrors(t *testing.T) {
+	if _, err := DialTCP(TCPConfig{Rank: 0, Addrs: nil}); err == nil {
+		t.Error("empty addrs accepted")
+	}
+	if _, err := DialTCP(TCPConfig{Rank: 3, Addrs: []string{"x", "y"}}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestNewLocalClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 accepted")
+		}
+	}()
+	NewLocalCluster(0)
+}

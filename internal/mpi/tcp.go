@@ -1,0 +1,206 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPConfig describes one rank's view of a TCP communicator.
+type TCPConfig struct {
+	// Rank is this process's rank.
+	Rank int
+	// Addrs lists the listen address of every rank, indexed by rank.
+	Addrs []string
+	// DialTimeout bounds how long to wait for peers to come up
+	// (default 10s).
+	DialTimeout time.Duration
+}
+
+// tcpComm is the TCP transport: a full mesh of length-framed connections.
+// Rank i accepts connections from ranks j > i and dials ranks j < i; a
+// 4-byte handshake identifies the dialer. One reader goroutine per peer
+// delivers frames into the shared mailbox.
+type tcpComm struct {
+	rank  int
+	size  int
+	box   *mailbox
+	conns []net.Conn
+	wmu   []sync.Mutex // per-connection write locks
+	ln    net.Listener
+
+	closeOnce sync.Once
+}
+
+// DialTCP brings up this rank's endpoint and blocks until the full mesh is
+// connected.
+func DialTCP(cfg TCPConfig) (Comm, error) {
+	p := len(cfg.Addrs)
+	if p < 1 {
+		return nil, fmt.Errorf("mpi: empty address list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= p {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0, %d)", cfg.Rank, p)
+	}
+	timeout := cfg.DialTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d listen: %v", cfg.Rank, err)
+	}
+	c := &tcpComm{
+		rank:  cfg.Rank,
+		size:  p,
+		box:   newMailbox(),
+		conns: make([]net.Conn, p),
+		wmu:   make([]sync.Mutex, p),
+		ln:    ln,
+	}
+
+	errc := make(chan error, 2)
+	var wg sync.WaitGroup
+
+	// Accept from higher ranks.
+	expect := p - 1 - cfg.Rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < expect; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("mpi: rank %d accept: %v", cfg.Rank, err)
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				errc <- fmt.Errorf("mpi: rank %d handshake read: %v", cfg.Rank, err)
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hdr[:]))
+			if peer <= cfg.Rank || peer >= p || c.conns[peer] != nil {
+				errc <- fmt.Errorf("mpi: rank %d got bad handshake rank %d", cfg.Rank, peer)
+				return
+			}
+			c.conns[peer] = conn
+		}
+	}()
+
+	// Dial lower ranks (with retry while their listeners come up).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		deadline := time.Now().Add(timeout)
+		for peer := 0; peer < cfg.Rank; peer++ {
+			var conn net.Conn
+			var err error
+			for {
+				conn, err = net.DialTimeout("tcp", cfg.Addrs[peer], time.Second)
+				if err == nil || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if err != nil {
+				errc <- fmt.Errorf("mpi: rank %d dial rank %d: %v", cfg.Rank, peer, err)
+				return
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(cfg.Rank))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				errc <- fmt.Errorf("mpi: rank %d handshake write: %v", cfg.Rank, err)
+				return
+			}
+			c.conns[peer] = conn
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case err := <-errc:
+		c.Close()
+		return nil, err
+	case <-done:
+	}
+
+	// Start one reader per peer.
+	for peer, conn := range c.conns {
+		if conn == nil {
+			continue
+		}
+		go c.readLoop(peer, conn)
+	}
+	return c, nil
+}
+
+// frame layout: tag int64 | length int64 | payload.
+func (c *tcpComm) readLoop(peer int, conn net.Conn) {
+	var hdr [16]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // connection closed
+		}
+		tag := int64(binary.LittleEndian.Uint64(hdr[:8]))
+		length := int64(binary.LittleEndian.Uint64(hdr[8:]))
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if err := c.box.put(peer, int(tag), payload); err != nil {
+			return
+		}
+	}
+}
+
+func (c *tcpComm) Rank() int { return c.rank }
+func (c *tcpComm) Size() int { return c.size }
+
+func (c *tcpComm) Send(dst, tag int, payload []byte) error {
+	if err := checkPeer(c, dst); err != nil {
+		return err
+	}
+	if dst == c.rank {
+		return fmt.Errorf("mpi: rank %d sending to itself", dst)
+	}
+	conn := c.conns[dst]
+	if conn == nil {
+		return ErrClosed
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(int64(tag)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(len(payload))))
+	c.wmu[dst].Lock()
+	defer c.wmu[dst].Unlock()
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+func (c *tcpComm) Recv(src, tag int) ([]byte, error) {
+	if err := checkPeer(c, src); err != nil {
+		return nil, err
+	}
+	return c.box.take(src, tag)
+}
+
+func (c *tcpComm) Close() error {
+	c.closeOnce.Do(func() {
+		c.box.close()
+		if c.ln != nil {
+			c.ln.Close()
+		}
+		for _, conn := range c.conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package par provides the static work-partitioning primitives used by the
+// shared-memory algorithms. The paper's OpenMP code relies on two idioms:
+// parallel-for with a static schedule, and per-thread ownership of a
+// contiguous vertex interval so that counter updates need no atomics
+// (Algorithm 4). Both idioms are expressed here over goroutines.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a caller passes p <= 0.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Interval returns the half-open interval [lo, hi) of the items assigned to
+// worker rank out of p when n items are split contiguously and as evenly as
+// possible: the same split the paper uses for vertex ownership
+// (vl = n*t/p, vh = n*(t+1)/p).
+func Interval(n, p, rank int) (lo, hi int) {
+	if p <= 0 {
+		panic("par: Interval with p <= 0")
+	}
+	if rank < 0 || rank >= p {
+		panic("par: Interval rank out of range")
+	}
+	return n * rank / p, n * (rank + 1) / p
+}
+
+// Run executes fn(rank) on p goroutines, ranks 0..p-1, and waits for all of
+// them. If p <= 0 it uses DefaultWorkers.
+func Run(p int, fn func(rank int)) {
+	if p <= 0 {
+		p = DefaultWorkers()
+	}
+	if p == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// ForEach splits [0, n) into p contiguous intervals and executes
+// fn(rank, lo, hi) for each on its own goroutine.
+func ForEach(n, p int, fn func(rank, lo, hi int)) {
+	if p <= 0 {
+		p = DefaultWorkers()
+	}
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	Run(p, func(rank int) {
+		lo, hi := Interval(n, p, rank)
+		fn(rank, lo, hi)
+	})
+}
+
+// Dynamic runs a dynamically scheduled parallel loop over [0, n): p workers
+// repeatedly claim chunks of the given size. It is used where per-item work
+// is highly skewed (e.g. reverse-BFS sampling, where RRR set sizes vary by
+// orders of magnitude).
+func Dynamic(n, p, chunk int, fn func(rank, lo, hi int)) {
+	if p <= 0 {
+		p = DefaultWorkers()
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if p == 1 || n <= chunk {
+		fn(0, 0, n)
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	claim := func() (int, int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= n {
+			return 0, 0, false
+		}
+		lo := int(next)
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		next = int64(hi)
+		return lo, hi, true
+	}
+	Run(p, func(rank int) {
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				return
+			}
+			fn(rank, lo, hi)
+		}
+	})
+}
+
+// ReduceMax combines per-worker (value, argument) pairs into the global
+// maximum, breaking ties toward the smaller argument so parallel reductions
+// are deterministic. Entries with value < 0 are ignored; it returns
+// (-1, -1) if all are.
+func ReduceMax(values []int64, args []int) (best int64, arg int) {
+	best, arg = -1, -1
+	for i, v := range values {
+		if v < 0 {
+			continue
+		}
+		if v > best || (v == best && (arg < 0 || args[i] < arg)) {
+			best, arg = v, args[i]
+		}
+	}
+	return best, arg
+}

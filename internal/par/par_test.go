@@ -1,0 +1,139 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalCoversExactly(t *testing.T) {
+	check := func(n uint16, p uint8) bool {
+		np, pp := int(n), int(p)
+		if pp == 0 {
+			pp = 1
+		}
+		prevHi := 0
+		for r := 0; r < pp; r++ {
+			lo, hi := Interval(np, pp, r)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			prevHi = hi
+		}
+		return prevHi == np
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalBalance(t *testing.T) {
+	// No interval may be more than one item larger than another.
+	n, p := 1001, 17
+	minSz, maxSz := n, 0
+	for r := 0; r < p; r++ {
+		lo, hi := Interval(n, p, r)
+		if sz := hi - lo; sz < minSz {
+			minSz = sz
+		} else if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("imbalanced intervals: min %d max %d", minSz, maxSz)
+	}
+}
+
+func TestIntervalPanics(t *testing.T) {
+	for _, tc := range []struct{ n, p, r int }{{10, 0, 0}, {10, 4, -1}, {10, 4, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Interval(%d,%d,%d) did not panic", tc.n, tc.p, tc.r)
+				}
+			}()
+			Interval(tc.n, tc.p, tc.r)
+		}()
+	}
+}
+
+func TestRunAllRanksExecute(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 33} {
+		seen := make([]int32, p)
+		Run(p, func(rank int) { atomic.AddInt32(&seen[rank], 1) })
+		for r, c := range seen {
+			if c != 1 {
+				t.Fatalf("p=%d: rank %d executed %d times", p, r, c)
+			}
+		}
+	}
+}
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		for _, n := range []int{0, 1, 7, 100} {
+			marks := make([]int32, n)
+			ForEach(n, p, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&marks[i], 1)
+				}
+			})
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("p=%d n=%d: item %d touched %d times", p, n, i, m)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachMoreWorkersThanItems(t *testing.T) {
+	var count int32
+	ForEach(3, 100, func(_, lo, hi int) { atomic.AddInt32(&count, int32(hi-lo)) })
+	if count != 3 {
+		t.Fatalf("covered %d items, want 3", count)
+	}
+}
+
+func TestDynamicCoversAllItems(t *testing.T) {
+	for _, chunk := range []int{1, 3, 64, 1000} {
+		n := 257
+		marks := make([]int32, n)
+		Dynamic(n, 4, chunk, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("chunk=%d: item %d touched %d times", chunk, i, m)
+			}
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	tests := []struct {
+		values []int64
+		args   []int
+		want   int64
+		wantA  int
+	}{
+		{[]int64{3, 9, 9, 1}, []int{0, 5, 2, 7}, 9, 2}, // tie -> smaller arg
+		{[]int64{-1, -1}, []int{0, 1}, -1, -1},         // all invalid
+		{[]int64{0}, []int{4}, 0, 4},
+		{[]int64{5, -1, 7}, []int{1, 2, 3}, 7, 3},
+	}
+	for i, tc := range tests {
+		got, gotA := ReduceMax(tc.values, tc.args)
+		if got != tc.want || gotA != tc.wantA {
+			t.Errorf("case %d: ReduceMax = (%d, %d), want (%d, %d)", i, got, gotA, tc.want, tc.wantA)
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,136 @@
+package rrr
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"influmax/internal/graph"
+	"influmax/internal/rng"
+)
+
+func randomSortedSet(r *rng.Rand, n int, density float64) []graph.Vertex {
+	var set []graph.Vertex
+	for v := 0; v < n; v++ {
+		if r.Float64() < density {
+			set = append(set, graph.Vertex(v))
+		}
+	}
+	return set
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(rng.NewLCG(seed))
+		n := 200
+		c := NewCompressedCollection(n)
+		var want [][]graph.Vertex
+		for i := 0; i < 20; i++ {
+			set := randomSortedSet(r, n, r.Float64()*0.5)
+			c.Append(set)
+			want = append(want, set)
+		}
+		var buf []graph.Vertex
+		for i, w := range want {
+			buf = c.Sample(i, buf)
+			if len(w) == 0 && len(buf) == 0 {
+				continue
+			}
+			if !slices.Equal(buf, w) {
+				return false
+			}
+		}
+		return c.Count() == 20
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedContainsMatchesDecode(t *testing.T) {
+	r := rng.New(rng.NewLCG(5))
+	n := 150
+	c := NewCompressedCollection(n)
+	plain := NewCollection(n)
+	for i := 0; i < 30; i++ {
+		set := randomSortedSet(r, n, 0.2)
+		c.Append(set)
+		plain.Append(set)
+	}
+	for i := 0; i < 30; i++ {
+		for v := 0; v < n; v++ {
+			if c.Contains(i, graph.Vertex(v)) != plain.Contains(i, graph.Vertex(v)) {
+				t.Fatalf("Contains(%d, %d) disagrees with plain store", i, v)
+			}
+		}
+	}
+}
+
+func TestCompressedCountAllMatchesPlain(t *testing.T) {
+	r := rng.New(rng.NewLCG(9))
+	n := 100
+	c := NewCompressedCollection(n)
+	plain := NewCollection(n)
+	for i := 0; i < 25; i++ {
+		set := randomSortedSet(r, n, 0.3)
+		c.Append(set)
+		plain.Append(set)
+	}
+	covered := make([]bool, 25)
+	covered[3], covered[17] = true, true
+	a := make([]int32, n)
+	b := make([]int32, n)
+	c.CountAll(a, covered)
+	plain.CountRange(b, covered, 0, graph.Vertex(n))
+	if !slices.Equal(a, b) {
+		t.Fatal("compressed counting disagrees with plain store")
+	}
+}
+
+func TestCompressedSmallerOnClusteredSets(t *testing.T) {
+	// Dense runs of consecutive ids compress to ~1 byte per member vs 4 in
+	// the plain arena.
+	n := 10000
+	c := NewCompressedCollection(n)
+	plain := NewCollection(n)
+	set := make([]graph.Vertex, 2000)
+	for i := range set {
+		set[i] = graph.Vertex(3000 + i) // consecutive block
+	}
+	for i := 0; i < 50; i++ {
+		c.Append(set)
+		plain.Append(set)
+	}
+	if c.Bytes() >= plain.Bytes()/2 {
+		t.Fatalf("compressed %d B not well below plain %d B", c.Bytes(), plain.Bytes())
+	}
+	if c.TotalSize() != plain.TotalSize() {
+		t.Fatal("cardinality accounting differs")
+	}
+}
+
+func TestCompressedEmptySample(t *testing.T) {
+	c := NewCompressedCollection(10)
+	c.Append(nil)
+	c.Append([]graph.Vertex{0, 9})
+	if got := c.Sample(0, nil); len(got) != 0 {
+		t.Fatalf("empty sample decoded to %v", got)
+	}
+	if !slices.Equal(c.Sample(1, nil), []graph.Vertex{0, 9}) {
+		t.Fatal("boundary sample wrong")
+	}
+	if c.Contains(0, 3) {
+		t.Fatal("empty sample claims membership")
+	}
+}
+
+func TestCompressedLargeIDs(t *testing.T) {
+	// Multi-byte varints: ids near the top of the uint32 range.
+	n := 1 << 31
+	c := NewCompressedCollection(n)
+	set := []graph.Vertex{5, 1 << 20, 1 << 28, 1<<31 - 1}
+	c.Append(set)
+	if !slices.Equal(c.Sample(0, nil), set) {
+		t.Fatalf("large ids corrupted: %v", c.Sample(0, nil))
+	}
+}

@@ -1,0 +1,95 @@
+// Package trace provides the phase instrumentation behind the paper's
+// stacked-bar runtime figures: every IMM run is decomposed into the
+// Estimation, Sample, SelectSeeds and Other phases of Algorithm 1
+// (Figures 3-8), plus a coarse memory probe for Table 2.
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Phase identifies a section of Algorithm 1.
+type Phase int
+
+const (
+	// Estimation is Algorithm 2 including the Sample calls it makes
+	// internally (the paper: "the cost of the calls to Sample from within
+	// the Estimation function are included as part of the Estimation
+	// bars").
+	Estimation Phase = iota
+	// Sampling is the direct call to Algorithm 3 from the skeleton.
+	Sampling
+	// SelectSeeds is the final Algorithm 4 invocation.
+	SelectSeeds
+	// Other is everything else (setup, allocation, accounting).
+	Other
+
+	numPhases
+)
+
+// String returns the phase name as used in the paper's legends.
+func (p Phase) String() string {
+	switch p {
+	case Estimation:
+		return "EstimateTheta"
+	case Sampling:
+		return "Sample"
+	case SelectSeeds:
+		return "SelectSeeds"
+	case Other:
+		return "Other"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Times records the wall-clock duration of each phase.
+type Times struct {
+	d [numPhases]time.Duration
+}
+
+// Add accumulates d into phase p.
+func (t *Times) Add(p Phase, d time.Duration) { t.d[p] += d }
+
+// Get returns the accumulated duration of phase p.
+func (t *Times) Get(p Phase) time.Duration { return t.d[p] }
+
+// Total returns the sum over all phases.
+func (t *Times) Total() time.Duration {
+	var s time.Duration
+	for _, d := range t.d {
+		s += d
+	}
+	return s
+}
+
+// Measure runs fn and accumulates its wall-clock time into phase p.
+func (t *Times) Measure(p Phase, fn func()) {
+	start := time.Now()
+	fn()
+	t.d[p] += time.Since(start)
+}
+
+// Merge adds other's durations into t.
+func (t *Times) Merge(other Times) {
+	for i := range t.d {
+		t.d[i] += other.d[i]
+	}
+}
+
+// String formats the breakdown in legend order.
+func (t *Times) String() string {
+	return fmt.Sprintf("EstimateTheta=%v Sample=%v SelectSeeds=%v Other=%v",
+		t.d[Estimation], t.d[Sampling], t.d[SelectSeeds], t.d[Other])
+}
+
+// HeapAlloc returns the current live-heap size in bytes; a coarse stand-in
+// for the Massif peak-memory instrumentation of Table 2 (the precise
+// quantity compared there — the RRR store size — is accounted exactly by
+// the rrr package's Bytes methods).
+func HeapAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

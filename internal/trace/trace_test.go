@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseNamesMatchPaperLegends(t *testing.T) {
+	want := map[Phase]string{
+		Estimation:  "EstimateTheta",
+		Sampling:    "Sample",
+		SelectSeeds: "SelectSeeds",
+		Other:       "Other",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), name)
+		}
+	}
+	if Phase(99).String() == "" {
+		t.Error("unknown phase has empty name")
+	}
+}
+
+func TestAddGetTotal(t *testing.T) {
+	var tm Times
+	tm.Add(Estimation, 2*time.Second)
+	tm.Add(Sampling, time.Second)
+	tm.Add(Estimation, time.Second)
+	if got := tm.Get(Estimation); got != 3*time.Second {
+		t.Fatalf("Get(Estimation) = %v", got)
+	}
+	if got := tm.Total(); got != 4*time.Second {
+		t.Fatalf("Total = %v", got)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	var tm Times
+	tm.Measure(SelectSeeds, func() { time.Sleep(10 * time.Millisecond) })
+	if got := tm.Get(SelectSeeds); got < 5*time.Millisecond {
+		t.Fatalf("Measure recorded %v", got)
+	}
+	if tm.Get(Sampling) != 0 {
+		t.Fatal("Measure leaked into another phase")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Times
+	a.Add(Other, time.Second)
+	b.Add(Other, 2*time.Second)
+	b.Add(Sampling, time.Second)
+	a.Merge(b)
+	if a.Get(Other) != 3*time.Second || a.Get(Sampling) != time.Second {
+		t.Fatalf("merge wrong: %v", a.String())
+	}
+}
+
+func TestStringContainsAllPhases(t *testing.T) {
+	var tm Times
+	s := tm.String()
+	for _, name := range []string{"EstimateTheta", "Sample", "SelectSeeds", "Other"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("String() missing %s: %q", name, s)
+		}
+	}
+}
+
+func TestHeapAllocPositive(t *testing.T) {
+	if HeapAlloc() == 0 {
+		t.Fatal("HeapAlloc returned 0")
+	}
+}
