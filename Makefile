@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the tier-1 gate every change
+# must keep green (see DESIGN.md §7); the other targets are conveniences
+# over the same underlying go commands.
+
+GO ?= go
+
+.PHONY: check build vet test race bench clean
+
+## check: the CI-grade gate — compile everything, vet, and run the full
+## test suite under the race detector.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: run every paper-figure benchmark once (long).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

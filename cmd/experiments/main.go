@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"influmax"
 	"influmax/internal/harness"
 )
 
@@ -33,10 +34,23 @@ func main() {
 		distK    = flag.Int("distk", 0, "override k of fig7/fig8/table3 IMMdist (0 = paper's 200)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of markdown")
 		outDir   = flag.String("o", "", "write one file per experiment into this directory")
+
+		metricsJSON = flag.String("metrics-json", "", "write every run's RunReport as one JSON array to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole regeneration to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fatal("pass experiment names (fig1..fig8, table2, table3, bio) or 'all'")
+	}
+
+	if *pprofAddr != "" {
+		srv, err := influmax.StartPprofServer(*pprofAddr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: pprof on http://%s/debug/pprof/\n", srv.Addr)
 	}
 
 	cfg := harness.Config{
@@ -57,6 +71,15 @@ func main() {
 	}
 	if cfg.Ranks, err = parseInts(*ranks); err != nil {
 		fatal("-ranks: %v", err)
+	}
+	if *metricsJSON != "" {
+		cfg.Reports = influmax.NewReportLog()
+	}
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		if stopCPU, err = influmax.StartCPUProfile(*cpuProfile); err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	wanted := map[string]bool{}
@@ -94,6 +117,20 @@ func main() {
 	}
 	if ran == 0 {
 		fatal("no experiment matched %v", flag.Args())
+	}
+	if err := stopCPU(); err != nil {
+		fatal("%v", err)
+	}
+	if *memProfile != "" {
+		if err := influmax.WriteHeapProfile(*memProfile); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if *metricsJSON != "" {
+		if err := cfg.Reports.WriteFile(*metricsJSON); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d run reports to %s\n", cfg.Reports.Len(), *metricsJSON)
 	}
 }
 

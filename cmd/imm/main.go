@@ -22,22 +22,34 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list or binary graph file")
-		binary    = flag.Bool("bin", false, "input file is binary (graphgen -format bin)")
-		dataset   = flag.String("dataset", "", "generate a SNAP analog instead of reading a file")
-		scale     = flag.Float64("scale", 0.01, "analog scale")
-		k         = flag.Int("k", 50, "seed set size")
-		eps       = flag.Float64("eps", 0.5, "accuracy parameter (smaller = better approximation)")
-		modelStr  = flag.String("model", "IC", "diffusion model: IC or LT")
-		workers   = flag.Int("workers", 0, "threads (0 = all cores; 1 = sequential IMMopt)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		weights   = flag.String("weights", "uniform", "weight scheme when generating: uniform, wc, const:<p>, none")
-		baseline  = flag.Bool("baseline", false, "run the Tang-style sequential baseline instead")
-		leapfrog  = flag.Bool("leapfrog", false, "use leap-frog RNG splitting (paper mode) instead of per-sample")
-		verify    = flag.Int("verify", 0, "if > 0, evaluate the seed set with this many Monte Carlo cascades")
-		jsonOut   = flag.Bool("json", false, "emit the result as JSON on stdout (machine-readable)")
+		graphPath   = flag.String("graph", "", "edge-list or binary graph file")
+		binary      = flag.Bool("bin", false, "input file is binary (graphgen -format bin)")
+		dataset     = flag.String("dataset", "", "generate a SNAP analog instead of reading a file")
+		scale       = flag.Float64("scale", 0.01, "analog scale")
+		k           = flag.Int("k", 50, "seed set size")
+		eps         = flag.Float64("eps", 0.5, "accuracy parameter (smaller = better approximation)")
+		modelStr    = flag.String("model", "IC", "diffusion model: IC or LT")
+		workers     = flag.Int("workers", 0, "threads (0 = all cores; 1 = sequential IMMopt)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		weights     = flag.String("weights", "uniform", "weight scheme when generating: uniform, wc, const:<p>, none")
+		baseline    = flag.Bool("baseline", false, "run the Tang-style sequential baseline instead")
+		leapfrog    = flag.Bool("leapfrog", false, "use leap-frog RNG splitting (paper mode) instead of per-sample")
+		verify      = flag.Int("verify", 0, "if > 0, evaluate the seed set with this many Monte Carlo cascades")
+		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout (machine-readable)")
+		metricsJSON = flag.String("metrics-json", "", "write a structured RunReport (JSON, schema 1) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the maximization to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		srv, err := influmax.StartPprofServer(*pprofAddr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "imm: pprof on http://%s/debug/pprof/\n", srv.Addr)
+	}
 
 	model, err := influmax.ParseModel(*modelStr)
 	if err != nil {
@@ -61,20 +73,54 @@ func main() {
 	if *leapfrog {
 		opt.RNG = influmax.LeapFrog
 	}
+	if *metricsJSON != "" {
+		opt.Metrics = influmax.NewMetricsRegistry()
+	}
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		stopCPU, err = influmax.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
 	var res *influmax.Result
 	if *baseline {
 		res, err = influmax.MaximizeBaseline(g, opt)
 	} else {
 		res, err = influmax.Maximize(g, opt)
 	}
+	if stopErr := stopCPU(); stopErr != nil {
+		fatal("%v", stopErr)
+	}
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *memProfile != "" {
+		if err := influmax.WriteHeapProfile(*memProfile); err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	var verified *verifiedSpread
 	if *verify > 0 {
 		mean, se := influmax.Spread(g, model, res.Seeds, *verify, *workers, *seed^0xe7a1)
 		verified = &verifiedSpread{Mean: mean, StdErr: se, Trials: *verify}
+	}
+
+	if *metricsJSON != "" {
+		rep := influmax.Report(res, opt)
+		rep.Graph = &influmax.GraphInfo{
+			Vertices: st.Vertices, Edges: st.Edges,
+			AvgDegree: st.AvgDegree, MaxDegree: st.MaxDegree,
+		}
+		if verified != nil {
+			rep.Verified = &influmax.VerifiedSpread{
+				Mean: verified.Mean, StdErr: verified.StdErr, Trials: verified.Trials,
+			}
+		}
+		if err := rep.WriteFile(*metricsJSON); err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	if *jsonOut {

@@ -28,20 +28,32 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list graph file (all ranks need the same file)")
-		dataset   = flag.String("dataset", "com-Orkut", "SNAP analog to generate")
-		scale     = flag.Float64("scale", 0.005, "analog scale")
-		k         = flag.Int("k", 200, "seed set size")
-		eps       = flag.Float64("eps", 0.13, "accuracy parameter")
-		modelStr  = flag.String("model", "IC", "diffusion model: IC or LT")
-		threads   = flag.Int("threads", 1, "threads per rank (hybrid model)")
-		seed      = flag.Uint64("seed", 1, "random seed (must agree across ranks)")
-		ranks     = flag.Int("ranks", 4, "local mode: number of in-process ranks")
-		rank      = flag.Int("rank", -1, "TCP mode: this process's rank")
-		addrsStr  = flag.String("addrs", "", "TCP mode: comma-separated listen addresses, one per rank")
-		part      = flag.Bool("partitioned", false, "partition the graph across ranks too (future-work extension)")
+		graphPath   = flag.String("graph", "", "edge-list graph file (all ranks need the same file)")
+		dataset     = flag.String("dataset", "com-Orkut", "SNAP analog to generate")
+		scale       = flag.Float64("scale", 0.005, "analog scale")
+		k           = flag.Int("k", 200, "seed set size")
+		eps         = flag.Float64("eps", 0.13, "accuracy parameter")
+		modelStr    = flag.String("model", "IC", "diffusion model: IC or LT")
+		threads     = flag.Int("threads", 1, "threads per rank (hybrid model)")
+		seed        = flag.Uint64("seed", 1, "random seed (must agree across ranks)")
+		ranks       = flag.Int("ranks", 4, "local mode: number of in-process ranks")
+		rank        = flag.Int("rank", -1, "TCP mode: this process's rank")
+		addrsStr    = flag.String("addrs", "", "TCP mode: comma-separated listen addresses, one per rank")
+		part        = flag.Bool("partitioned", false, "partition the graph across ranks too (future-work extension)")
+		metricsJSON = flag.String("metrics-json", "", "write rank 0's merged RunReport (JSON, schema 1) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		srv, err := influmax.StartPprofServer(*pprofAddr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "immdist: pprof on http://%s/debug/pprof/\n", srv.Addr)
+	}
 
 	model, err := influmax.ParseModel(*modelStr)
 	if err != nil {
@@ -57,22 +69,59 @@ func main() {
 	opt := influmax.DistOptions{K: *k, Epsilon: *eps, Model: model, ThreadsPerRank: *threads, Seed: *seed}
 	popt := influmax.PartOptions{K: *k, Epsilon: *eps, Model: model, Seed: *seed}
 
+	// writeReport stamps the graph summary on rank 0's merged report and
+	// persists it.
+	writeReport := func(rep *influmax.RunReport) error {
+		st := g.ComputeStats()
+		rep.Graph = &influmax.GraphInfo{
+			Vertices: st.Vertices, Edges: st.Edges,
+			AvgDegree: st.AvgDegree, MaxDegree: st.MaxDegree,
+		}
+		return rep.WriteFile(*metricsJSON)
+	}
+
 	// run executes the chosen algorithm on one communicator endpoint.
-	run := func(c influmax.Comm) error {
+	// Every rank goes through it (report gathering is a collective);
+	// quiet suppresses the per-rank progress line in local mode.
+	run := func(c influmax.Comm, quiet bool) error {
 		if *part {
 			res, err := influmax.MaximizePartitioned(c, g, popt)
 			if err != nil {
 				return err
 			}
-			reportPart(c.Rank(), res)
+			if !quiet {
+				reportPart(c.Rank(), res)
+			}
+			if *metricsJSON != "" && c.Rank() == 0 {
+				return writeReport(influmax.ReportPartitioned(popt, res))
+			}
 			return nil
 		}
 		res, err := influmax.MaximizeDistributed(c, g, opt)
 		if err != nil {
 			return err
 		}
-		report(c.Rank(), res)
+		if !quiet {
+			report(c.Rank(), res)
+		}
+		if *metricsJSON != "" {
+			rep, err := influmax.ReportDistributed(c, opt, res)
+			if err != nil {
+				return err
+			}
+			if rep != nil {
+				return writeReport(rep)
+			}
+		}
 		return nil
+	}
+
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		stopCPU, err = influmax.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	if *addrsStr != "" {
@@ -86,36 +135,35 @@ func main() {
 			fatal("%v", err)
 		}
 		defer c.Close()
-		if err := run(c); err != nil {
+		if err := run(c, false); err != nil {
 			fatal("rank %d: %v", *rank, err)
 		}
-		return
+	} else {
+		// Local mode: spin all ranks in-process.
+		comms := influmax.LocalCluster(*ranks)
+		errs := make([]error, *ranks)
+		var wg sync.WaitGroup
+		for r := 0; r < *ranks; r++ {
+			wg.Add(1)
+			go func(rk int) {
+				defer wg.Done()
+				errs[rk] = run(comms[rk], rk != 0)
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				fatal("rank %d: %v", r, err)
+			}
+		}
 	}
 
-	// Local mode: spin all ranks in-process.
-	comms := influmax.LocalCluster(*ranks)
-	errs := make([]error, *ranks)
-	var wg sync.WaitGroup
-	for r := 0; r < *ranks; r++ {
-		wg.Add(1)
-		go func(rk int) {
-			defer wg.Done()
-			if rk == 0 {
-				errs[rk] = run(comms[rk])
-				return
-			}
-			// Non-zero ranks run silently in local mode.
-			if *part {
-				_, errs[rk] = influmax.MaximizePartitioned(comms[rk], g, popt)
-			} else {
-				_, errs[rk] = influmax.MaximizeDistributed(comms[rk], g, opt)
-			}
-		}(r)
+	if err := stopCPU(); err != nil {
+		fatal("%v", err)
 	}
-	wg.Wait()
-	for r, err := range errs {
-		if err != nil {
-			fatal("rank %d: %v", r, err)
+	if *memProfile != "" {
+		if err := influmax.WriteHeapProfile(*memProfile); err != nil {
+			fatal("%v", err)
 		}
 	}
 }

@@ -4,12 +4,15 @@ package influmax_test
 // into a scratch directory and driven the way a user would drive it.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+
+	"influmax"
 )
 
 var (
@@ -150,6 +153,95 @@ func TestCmdImmdistLocalAndPartitioned(t *testing.T) {
 	}
 }
 
+// readReport decodes a -metrics-json artifact and checks its header.
+func readReport(t *testing.T, path, algorithm string) *influmax.RunReport {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep influmax.RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	if rep.Schema != influmax.ReportSchemaVersion {
+		t.Fatalf("schema = %d, want %d", rep.Schema, influmax.ReportSchemaVersion)
+	}
+	if rep.Algorithm != algorithm {
+		t.Fatalf("algorithm = %q, want %q", rep.Algorithm, algorithm)
+	}
+	return &rep
+}
+
+func TestCmdIMMMetricsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	runCmd(t, "imm", "-dataset", "cit-HepTh", "-scale", "0.01", "-k", "4", "-eps", "0.5",
+		"-workers", "2", "-verify", "200", "-metrics-json", path)
+	rep := readReport(t, path, "IMMmt")
+	if rep.Theta <= 0 || rep.SamplesGenerated <= 0 || rep.StoreBytes <= 0 {
+		t.Fatalf("bookkeeping: %+v", rep)
+	}
+	if rep.TotalSeconds <= 0 || rep.PhaseSeconds["EstimateTheta"] <= 0 {
+		t.Fatalf("phase durations: total=%v phases=%v", rep.TotalSeconds, rep.PhaseSeconds)
+	}
+	if len(rep.WorkerWork) != 2 || rep.WorkHistogram == nil || rep.WorkHistogram.Count != 2 {
+		t.Fatalf("per-worker work: %v / %+v", rep.WorkerWork, rep.WorkHistogram)
+	}
+	if rep.Graph == nil || rep.Graph.Vertices <= 0 {
+		t.Fatalf("graph info: %+v", rep.Graph)
+	}
+	if rep.Verified == nil || rep.Verified.Trials != 200 {
+		t.Fatalf("verified: %+v", rep.Verified)
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["rrr/samples"] != rep.SamplesGenerated {
+		t.Fatalf("engine metrics: %+v", rep.Metrics)
+	}
+}
+
+func TestCmdImmdistMetricsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	runCmd(t, "immdist", "-dataset", "com-YouTube", "-scale", "0.001", "-ranks", "2",
+		"-k", "4", "-eps", "0.5", "-metrics-json", path)
+	rep := readReport(t, path, "IMMdist")
+	if rep.Ranks != 2 || len(rep.PerRank) != 2 {
+		t.Fatalf("perRank: ranks=%d subs=%d", rep.Ranks, len(rep.PerRank))
+	}
+	var samples int64
+	for r, sub := range rep.PerRank {
+		if sub.Rank != r || sub.TotalSeconds <= 0 {
+			t.Fatalf("perRank[%d] = %+v", r, sub)
+		}
+		samples += sub.LocalSamples
+	}
+	if samples != rep.SamplesGenerated {
+		t.Fatalf("rank samples sum to %d, report says %d", samples, rep.SamplesGenerated)
+	}
+	if rep.WorkBalance <= 0 || rep.WorkBalance > 1 {
+		t.Fatalf("work balance = %v", rep.WorkBalance)
+	}
+
+	// The partitioned variant writes an IMMpart report without a gather.
+	ppath := filepath.Join(t.TempDir(), "part.json")
+	runCmd(t, "immdist", "-dataset", "com-YouTube", "-scale", "0.001", "-ranks", "2",
+		"-k", "4", "-eps", "0.5", "-partitioned", "-metrics-json", ppath)
+	prep := readReport(t, ppath, "IMMpart")
+	if prep.Ranks != 2 || prep.Theta <= 0 {
+		t.Fatalf("partitioned report: %+v", prep)
+	}
+}
+
+func TestCmdIMMProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
+	runCmd(t, "imm", "-dataset", "cit-HepTh", "-scale", "0.005", "-k", "3", "-eps", "0.5",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
 func TestCmdBiostudy(t *testing.T) {
 	out := runCmd(t, "biostudy",
 		"-features", "200", "-samples", "30", "-modules", "3", "-modsize", "15",
@@ -175,6 +267,25 @@ func TestCmdExperiments(t *testing.T) {
 	runCmd(t, "experiments", "-scale", "0.002", "-csv", "-o", dir, "fig2")
 	if _, err := os.Stat(filepath.Join(dir, "fig2.csv")); err != nil {
 		t.Fatal("csv output missing")
+	}
+	// -metrics-json collects one RunReport per IMM run as a JSON array.
+	mpath := filepath.Join(dir, "runs.json")
+	runCmd(t, "experiments", "-scale", "0.002", "-o", dir, "-metrics-json", mpath, "fig2")
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reps []*influmax.RunReport
+	if err := json.Unmarshal(raw, &reps); err != nil {
+		t.Fatalf("decoding %s: %v", mpath, err)
+	}
+	if len(reps) == 0 {
+		t.Fatal("no run reports collected")
+	}
+	for _, rep := range reps {
+		if rep.Schema != influmax.ReportSchemaVersion || rep.Theta <= 0 {
+			t.Fatalf("bad collected report: %+v", rep)
+		}
 	}
 	runCmdExpectError(t, "experiments")                    // no experiment
 	runCmdExpectError(t, "experiments", "nonexistent-exp") // unknown name

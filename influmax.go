@@ -2,6 +2,7 @@ package influmax
 
 import (
 	"io"
+	"net/http"
 
 	"influmax/internal/baseline"
 	"influmax/internal/centrality"
@@ -10,6 +11,7 @@ import (
 	"influmax/internal/gen"
 	"influmax/internal/graph"
 	"influmax/internal/imm"
+	"influmax/internal/metrics"
 	"influmax/internal/mpi"
 	"influmax/internal/trace"
 )
@@ -233,3 +235,69 @@ func Betweenness(g *Graph, workers int) []float64 { return centrality.Betweennes
 
 // TopCentral returns the k highest-scoring vertices of a score vector.
 func TopCentral(scores []float64, k int) []Vertex { return centrality.TopK(scores, k) }
+
+// Observability surface: engine-level metrics and structured run reports.
+// See internal/metrics for the schema; cmd/imm and cmd/immdist expose it
+// via -metrics-json.
+type (
+	// MetricsRegistry names lock-free counters, gauges and histograms;
+	// pass one in Options.Metrics to instrument the sampling engine.
+	MetricsRegistry = metrics.Registry
+	// RunReport is the machine-readable record of one maximization run
+	// (schema version metrics.SchemaVersion, the "schema" JSON field).
+	RunReport = metrics.RunReport
+	// RankReport is one rank's sub-report inside a distributed RunReport.
+	RankReport = metrics.RankReport
+	// ReportLog accumulates RunReports across a multi-run trajectory and
+	// serializes them as one JSON array.
+	ReportLog = metrics.ReportLog
+	// GraphInfo summarizes the input graph inside a RunReport.
+	GraphInfo = metrics.GraphInfo
+	// VerifiedSpread records a Monte Carlo check of the reported seeds.
+	VerifiedSpread = metrics.VerifiedSpread
+)
+
+// ReportSchemaVersion is the RunReport JSON schema version ("schema").
+const ReportSchemaVersion = metrics.SchemaVersion
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewReportLog returns an empty report log.
+func NewReportLog() *ReportLog { return metrics.NewReportLog() }
+
+// AllPhases lists the Algorithm 1 phases in presentation order.
+func AllPhases() []Phase { return trace.AllPhases() }
+
+// GraphInfoFor summarizes a graph's stats for embedding in a RunReport.
+func GraphInfoFor(g *Graph) *GraphInfo { return metrics.GraphInfoFor(g.ComputeStats()) }
+
+// Report converts a shared-memory Result into its RunReport; pass the
+// same Options the run used.
+func Report(res *Result, opt Options) *RunReport { return res.Report(opt) }
+
+// ReportDistributed assembles the RunReport of a distributed run. It is a
+// collective over c: every rank calls it with its own result; rank 0
+// receives the merged report with one RankReport per rank, other ranks
+// receive (nil, nil).
+func ReportDistributed(c Comm, opt DistOptions, res *DistResult) (*RunReport, error) {
+	return dist.Report(c, opt, res)
+}
+
+// ReportPartitioned converts a graph-partitioned run's result into its
+// RunReport (no gather; rank 0's report is the one to persist).
+func ReportPartitioned(opt PartOptions, res *PartResult) *RunReport {
+	return dist.ReportPartitioned(opt, res)
+}
+
+// StartPprofServer serves net/http/pprof endpoints on addr (e.g.
+// "localhost:6060") until process exit; it returns the bound server whose
+// Addr field carries the resolved address.
+func StartPprofServer(addr string) (*http.Server, error) { return metrics.StartPprofServer(addr) }
+
+// StartCPUProfile begins a CPU profile written to path; call the returned
+// stop function before exit.
+func StartCPUProfile(path string) (func() error, error) { return metrics.StartCPUProfile(path) }
+
+// WriteHeapProfile writes a heap profile to path after a GC.
+func WriteHeapProfile(path string) error { return metrics.WriteHeapProfile(path) }

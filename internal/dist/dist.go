@@ -1,21 +1,3 @@
-// Package dist implements IMMdist, the paper's distributed-memory IMM
-// (Section 3.2), on top of the internal/mpi substrate.
-//
-// Design, following the paper exactly:
-//
-//   - every rank stores the entire input graph and generates a distinct
-//     contiguous batch of theta/p samples (sampling dominates and
-//     parallelizes embarrassingly; memory for R is what actually needs to
-//     scale out);
-//   - pseudorandom numbers come either from Leap Frog substreams of one
-//     global LCG sequence (the paper's TRNG discipline) or from per-sample
-//     derived streams (reproducible irrespective of p);
-//   - seed selection keeps an n-entry counter array per rank: local counts
-//     are AllReduce-summed into global counts, each rank then picks the
-//     same argmax locally, purges its local samples, and the decrements
-//     are AllReduce-summed again — k rounds, O(k n log p) communication;
-//   - within a rank, sampling and counting are additionally multithreaded
-//     (the hybrid MPI+OpenMP model), via goroutines here.
 package dist
 
 import (
@@ -78,8 +60,11 @@ type Result struct {
 	LocalWork int64
 	// Phases is this rank's wall-clock phase breakdown.
 	Phases trace.Times
-	// Ranks is the communicator size.
+	// Ranks is the communicator size and Rank this endpoint's rank.
 	Ranks int
+	Rank  int
+	// ThreadsPerRank is the resolved intra-rank thread count.
+	ThreadsPerRank int
 }
 
 // state carries the per-rank machinery across phases.
@@ -113,7 +98,7 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Ranks: c.Size()}
+	res := &Result{Ranks: c.Size(), Rank: c.Rank(), ThreadsPerRank: opt.ThreadsPerRank}
 	startOther := time.Now()
 	st := &state{
 		c: c, g: g, opt: opt,

@@ -1,0 +1,28 @@
+// Package dist implements IMMdist, the paper's distributed-memory IMM
+// (Section 3.2), on top of the internal/mpi substrate.
+//
+// Design, following the paper exactly:
+//
+//   - every rank stores the entire input graph and generates a distinct
+//     contiguous batch of theta/p samples (sampling dominates and
+//     parallelizes embarrassingly; memory for R is what actually needs to
+//     scale out);
+//   - pseudorandom numbers come either from Leap Frog substreams of one
+//     global LCG sequence (the paper's TRNG discipline) or from per-sample
+//     derived streams (reproducible irrespective of p);
+//   - seed selection keeps an n-entry counter array per rank: local counts
+//     are AllReduce-summed into global counts, each rank then picks the
+//     same argmax locally, purges its local samples, and the decrements
+//     are AllReduce-summed again — k rounds, O(k n log p) communication;
+//   - within a rank, sampling and counting are additionally multithreaded
+//     (the hybrid MPI+OpenMP model), via goroutines here.
+//
+// Observability: each rank's Result carries its own phase breakdown,
+// sample counts and store footprint (the per-rank quantities behind
+// Figures 7-8). Report is the collective that turns them into one
+// metrics.RunReport — every rank contributes a RankReport, gathered to
+// rank 0 over mpi.GatherBytes and merged there, so a distributed run
+// emits exactly one machine-readable JSON document. RunPartitioned (the
+// graph-partitioned future-work extension) reports through the same
+// RunReport type, minus the per-rank gather.
+package dist

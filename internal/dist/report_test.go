@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/metrics"
+	"influmax/internal/mpi"
+	"influmax/internal/trace"
+)
+
+// TestReportGathersPerRank runs IMMdist on an in-process cluster and
+// checks the Report collective: rank 0 merges one sub-report per rank,
+// everyone else gets nil.
+func TestReportGathersPerRank(t *testing.T) {
+	const p = 4
+	g := testGraph(3, 300, 1800)
+	opt := Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Seed: 11, ThreadsPerRank: 1}
+
+	comms := mpi.NewLocalCluster(p)
+	reps := make([]*metrics.RunReport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			res, err := Run(comms[rank], g, opt)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			reps[rank], errs[rank] = Report(comms[rank], opt, res)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 1; r < p; r++ {
+		if reps[r] != nil {
+			t.Fatalf("rank %d returned a report", r)
+		}
+	}
+	rep := reps[0]
+	if rep == nil {
+		t.Fatal("rank 0 returned no report")
+	}
+	if rep.Schema != metrics.SchemaVersion || rep.Algorithm != "IMMdist" || rep.Ranks != p {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.PerRank) != p {
+		t.Fatalf("perRank has %d entries, want %d", len(rep.PerRank), p)
+	}
+	var samples, store int64
+	for r, sub := range rep.PerRank {
+		if sub.Rank != r {
+			t.Fatalf("perRank[%d].Rank = %d", r, sub.Rank)
+		}
+		if sub.TotalSeconds <= 0 {
+			t.Fatalf("perRank[%d] has no timings: %+v", r, sub)
+		}
+		samples += sub.LocalSamples
+		store += sub.StoreBytes
+	}
+	if samples != rep.SamplesGenerated {
+		t.Fatalf("rank samples sum to %d, report says %d", samples, rep.SamplesGenerated)
+	}
+	if store != rep.StoreBytes {
+		t.Fatalf("rank bytes sum to %d, report says %d", store, rep.StoreBytes)
+	}
+	if rep.Theta <= 0 || len(rep.Seeds) != opt.K {
+		t.Fatalf("theta=%d seeds=%v", rep.Theta, rep.Seeds)
+	}
+	if rep.WorkBalance <= 0 || rep.WorkBalance > 1 {
+		t.Fatalf("work balance = %v", rep.WorkBalance)
+	}
+	if rep.PhaseSeconds[trace.Sampling.String()] < 0 {
+		t.Fatalf("phase map = %v", rep.PhaseSeconds)
+	}
+
+	// The report must serialize (the acceptance-criterion artifact).
+	buf, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded metrics.RunReport
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.PerRank) != p {
+		t.Fatalf("decoded perRank = %d", len(decoded.PerRank))
+	}
+}
+
+// TestReportLocalMatchesCollective checks the harness's gather-free path
+// produces the same merged numbers as the collective one.
+func TestReportLocalMatchesCollective(t *testing.T) {
+	const p = 2
+	g := testGraph(5, 200, 1000)
+	opt := Options{K: 3, Epsilon: 0.5, Model: diffuse.IC, Seed: 7, ThreadsPerRank: 1}
+	results := runDist(t, p, g, opt)
+	rep := ReportLocal(opt, results)
+	if rep.Ranks != p || len(rep.PerRank) != p {
+		t.Fatalf("report = %+v", rep)
+	}
+	var store int64
+	for _, res := range results {
+		store += res.StoreBytes
+	}
+	if rep.StoreBytes != store {
+		t.Fatalf("store = %d, want %d", rep.StoreBytes, store)
+	}
+	if rep.SamplesGenerated != results[0].SamplesGenerated {
+		t.Fatalf("samples = %d, want %d", rep.SamplesGenerated, results[0].SamplesGenerated)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"influmax/internal/gen"
 	"influmax/internal/graph"
 	"influmax/internal/imm"
+	"influmax/internal/metrics"
 	"influmax/internal/mpi"
 	"influmax/internal/trace"
 )
@@ -32,6 +33,25 @@ func prepModel(g *graph.Graph, model diffuse.Model) *graph.Graph {
 		g.NormalizeLT()
 	}
 	return g
+}
+
+// runIMM and runIMMBaseline execute one shared-memory run and log its
+// RunReport into the config's report sink (a no-op without one), so every
+// figure and table regeneration leaves a machine-readable trajectory.
+func runIMM(cfg Config, g *graph.Graph, opt imm.Options) (*imm.Result, error) {
+	res, err := imm.Run(g, opt)
+	if err == nil {
+		cfg.record(res.Report(opt))
+	}
+	return res, err
+}
+
+func runIMMBaseline(cfg Config, g *graph.Graph, opt imm.Options) (*imm.Result, error) {
+	res, err := imm.RunBaseline(g, opt)
+	if err == nil {
+		cfg.record(res.Report(opt))
+	}
+	return res, err
 }
 
 // defaultSmall is the dataset subset used by the sweep figures when the
@@ -68,7 +88,7 @@ func Fig1(cfg Config) (*Table, error) {
 		}
 		row := []string{fmt.Sprintf("%d", k)}
 		for _, eps := range []float64{0.5, 0.13} {
-			res, err := imm.Run(g, imm.Options{K: k, Epsilon: eps, Model: diffuse.IC, Workers: cfg.Workers, Seed: cfg.Seed})
+			res, err := runIMM(cfg, g, imm.Options{K: k, Epsilon: eps, Model: diffuse.IC, Workers: cfg.Workers, Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
@@ -105,11 +125,11 @@ func Table2(cfg Config) (*Table, error) {
 			k = st.Vertices / 2
 		}
 		opt := imm.Options{K: k, Epsilon: 0.5, Model: diffuse.IC, Workers: 1, Seed: cfg.Seed}
-		base, err := imm.RunBaseline(g, opt)
+		base, err := runIMMBaseline(cfg, g, opt)
 		if err != nil {
 			return nil, err
 		}
-		fast, err := imm.Run(g, opt)
+		fast, err := runIMM(cfg, g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +181,7 @@ func Fig2(cfg Config) (*Table, error) {
 	for _, eps := range epss {
 		row := []string{fmt.Sprintf("%.2f", eps)}
 		for _, k := range ks {
-			res, err := imm.Run(g, imm.Options{K: k, Epsilon: eps, Model: diffuse.IC, Workers: cfg.Workers, Seed: cfg.Seed})
+			res, err := runIMM(cfg, g, imm.Options{K: k, Epsilon: eps, Model: diffuse.IC, Workers: cfg.Workers, Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
@@ -207,7 +227,7 @@ func Fig3(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		for _, eps := range epss {
-			res, err := imm.Run(g, imm.Options{K: 50, Epsilon: eps, Model: diffuse.IC, Workers: cfg.Workers, Seed: cfg.Seed})
+			res, err := runIMM(cfg, g, imm.Options{K: 50, Epsilon: eps, Model: diffuse.IC, Workers: cfg.Workers, Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
@@ -243,7 +263,7 @@ func Fig4(cfg Config) (*Table, error) {
 			if k >= g.NumVertices() {
 				continue
 			}
-			res, err := imm.Run(g, imm.Options{K: k, Epsilon: 0.5, Model: diffuse.IC, Workers: cfg.Workers, Seed: cfg.Seed})
+			res, err := runIMM(cfg, g, imm.Options{K: k, Epsilon: 0.5, Model: diffuse.IC, Workers: cfg.Workers, Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
@@ -283,7 +303,7 @@ func scaling(cfg Config, model diffuse.Model, id string) (*Table, error) {
 		}
 		base := 0.0
 		for _, p := range threads {
-			res, err := imm.Run(g, imm.Options{K: k, Epsilon: 0.5, Model: model, Workers: p, Seed: cfg.Seed})
+			res, err := runIMM(cfg, g, imm.Options{K: k, Epsilon: 0.5, Model: model, Workers: p, Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
@@ -341,7 +361,7 @@ func distScaling(cfg Config, id string, ranks []int, models []diffuse.Model) (*T
 			}
 			base := 0.0
 			for _, p := range ranks {
-				res, balance, err := runDistributed(g, p, dist.Options{
+				res, balance, err := runDistributed(cfg, g, p, dist.Options{
 					K: k, Epsilon: cfg.DistEps, Model: model, Seed: cfg.Seed, ThreadsPerRank: 1,
 				})
 				if err != nil {
@@ -374,8 +394,9 @@ func Fig8(cfg Config) (*Table, error) {
 // runDistributed spins an in-process cluster of p ranks and returns rank
 // 0's result plus the sampling-work balance across ranks (avg/max local
 // work: 1.0 is a perfect partition; it bounds strong-scaling efficiency
-// on real hardware).
-func runDistributed(g *graph.Graph, p int, opt dist.Options) (*dist.Result, float64, error) {
+// on real hardware). With a report sink configured, the merged RunReport
+// — including the per-rank sub-reports — is logged as well.
+func runDistributed(cfg Config, g *graph.Graph, p int, opt dist.Options) (*dist.Result, float64, error) {
 	comms := mpi.NewLocalCluster(p)
 	results := make([]*dist.Result, p)
 	errs := make([]error, p)
@@ -393,16 +414,16 @@ func runDistributed(g *graph.Graph, p int, opt dist.Options) (*dist.Result, floa
 			return nil, 0, err
 		}
 	}
-	var total, maxWork int64
-	for _, res := range results {
-		total += res.LocalWork
-		if res.LocalWork > maxWork {
-			maxWork = res.LocalWork
-		}
+	if cfg.Reports != nil {
+		cfg.record(dist.ReportLocal(opt, results))
 	}
-	balance := 1.0
-	if maxWork > 0 {
-		balance = float64(total) / float64(p) / float64(maxWork)
+	work := make([]int64, p)
+	for r, res := range results {
+		work[r] = res.LocalWork
+	}
+	balance := metrics.WorkBalanceOf(work)
+	if balance == 0 {
+		balance = 1.0 // no recorded work: trivially balanced
 	}
 	return results[0], balance, nil
 }
@@ -438,27 +459,27 @@ func Table3(cfg Config) (*Table, error) {
 			k2 = g.NumVertices() / 2
 		}
 		opt := imm.Options{K: k, Epsilon: 0.5, Model: diffuse.IC, Workers: 1, Seed: cfg.Seed}
-		base, err := imm.RunBaseline(g, opt)
+		base, err := runIMMBaseline(cfg, g, opt)
 		if err != nil {
 			return nil, err
 		}
 		baseT := base.Phases.Total().Seconds()
 		t.Add(name, "IMM", "0.50", fmt.Sprintf("%d", k), fmtDur(baseT), "1.00x")
 
-		fast, err := imm.Run(g, opt)
+		fast, err := runIMM(cfg, g, opt)
 		if err != nil {
 			return nil, err
 		}
 		t.Add(name, "IMMopt", "0.50", fmt.Sprintf("%d", k), fmtDur(fast.Phases.Total().Seconds()), fmtF(baseT/fast.Phases.Total().Seconds())+"x")
 
 		opt.Workers = cfg.Workers
-		mt, err := imm.Run(g, opt)
+		mt, err := runIMM(cfg, g, opt)
 		if err != nil {
 			return nil, err
 		}
 		t.Add(name, "IMMmt", "0.50", fmt.Sprintf("%d", k), fmtDur(mt.Phases.Total().Seconds()), fmtF(baseT/mt.Phases.Total().Seconds())+"x")
 
-		dres, _, err := runDistributed(g, distRanksFor(cfg), dist.Options{
+		dres, _, err := runDistributed(cfg, g, distRanksFor(cfg), dist.Options{
 			K: k2, Epsilon: cfg.DistEps, Model: diffuse.IC, Seed: cfg.Seed, ThreadsPerRank: 1,
 		})
 		if err != nil {

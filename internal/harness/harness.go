@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"influmax/internal/metrics"
 	"influmax/internal/par"
 )
 
@@ -47,6 +48,18 @@ type Config struct {
 	// tractable: theta grows ~1/eps^2.
 	DistEps float64
 	DistK   int
+	// Reports, when non-nil, collects one metrics.RunReport per IMM and
+	// IMMdist invocation the drivers make, so one experiments run can
+	// emit a machine-readable trajectory alongside its tables
+	// (cmd/experiments -metrics-json).
+	Reports *metrics.ReportLog
+}
+
+// record logs a run report when the config carries a sink.
+func (c Config) record(rep *metrics.RunReport) {
+	if c.Reports != nil {
+		c.Reports.Add(rep)
+	}
 }
 
 // withDefaults resolves zero values.

@@ -42,7 +42,7 @@ func Partitioned(cfg Config) (*Table, error) {
 		k = g.NumVertices() / 4
 	}
 	for _, p := range ranks {
-		res, _, err := runDistributed(g, p, dist.Options{
+		res, _, err := runDistributed(cfg, g, p, dist.Options{
 			K: k, Epsilon: cfg.DistEps, Model: diffuse.IC, Seed: cfg.Seed, ThreadsPerRank: 1,
 		})
 		if err != nil {

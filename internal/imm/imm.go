@@ -12,6 +12,10 @@ import (
 // quality estimate, the sample-count bookkeeping and the per-phase timings
 // that the paper's figures break runtimes into.
 type Result struct {
+	// Algorithm names the implementation that produced the result, as in
+	// Table 3: "IMM" (RunBaseline), "IMMopt" (Run, one worker) or "IMMmt"
+	// (Run, several workers).
+	Algorithm string
 	// Seeds is the selected seed set in the order the greedy chose it.
 	Seeds []graph.Vertex
 	// CoverageFraction is F_R(S), the fraction of samples covered by Seeds.
@@ -35,6 +39,9 @@ type Result struct {
 	// WorkBalance is avg/max of per-worker sampling work (1.0 = perfect):
 	// the load balance that bounds sampling-phase scaling efficiency.
 	WorkBalance float64
+	// WorkerWork is the raw per-worker sampling work (RRR entries each
+	// worker generated) underlying WorkBalance; index = worker rank.
+	WorkerWork []int64
 }
 
 // Run executes parallel IMM (Algorithm 1) over g: IMMopt when
@@ -44,7 +51,10 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if err := opt.validate(g.NumVertices()); err != nil {
 		return nil, err
 	}
-	res := &Result{Workers: opt.Workers}
+	res := &Result{Algorithm: "IMMopt", Workers: opt.Workers}
+	if opt.Workers > 1 {
+		res.Algorithm = "IMMmt"
+	}
 	startOther := time.Now()
 	n := g.NumVertices()
 	col := rrr.NewCollection(n)
@@ -88,6 +98,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	res.SamplesGenerated = col.Count()
 	res.StoreBytes = col.Bytes()
 	res.WorkBalance = st.workBalance()
+	res.WorkerWork = append([]int64(nil), st.workerWork...)
 	return res, nil
 }
 
@@ -101,7 +112,7 @@ func RunBaseline(g *graph.Graph, opt Options) (*Result, error) {
 	if err := opt.validate(g.NumVertices()); err != nil {
 		return nil, err
 	}
-	res := &Result{Workers: 1}
+	res := &Result{Algorithm: "IMM", Workers: 1}
 	startOther := time.Now()
 	n := g.NumVertices()
 	store := rrr.NewNaiveStore(n)

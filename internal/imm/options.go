@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"influmax/internal/diffuse"
+	"influmax/internal/metrics"
 	"influmax/internal/par"
 )
 
@@ -75,6 +76,12 @@ type Options struct {
 	// L is the confidence exponent: the guarantee holds with probability
 	// at least 1 - 1/n^L. Zero means the customary 1.
 	L float64
+	// Metrics, when non-nil, receives engine-internal instrumentation
+	// during the run: the "rrr/samples" and "rrr/entries" counters and the
+	// "rrr/size" histogram of RRR-set cardinalities (the sampling-work
+	// distribution behind the paper's load-balance discussion). Recording
+	// is atomic and allocation-free; nil disables it entirely.
+	Metrics *metrics.Registry
 }
 
 // withDefaults returns a copy of o with zero values resolved.

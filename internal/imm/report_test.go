@@ -1,0 +1,100 @@
+package imm
+
+import (
+	"encoding/json"
+	"testing"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/metrics"
+	"influmax/internal/rng"
+)
+
+func reportTestGraph(seed uint64, n, m int) *graph.Graph {
+	r := rng.New(rng.NewLCG(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			b.Add(graph.Vertex(u), graph.Vertex(v), 0)
+		}
+	}
+	g := b.Build()
+	g.AssignUniform(seed ^ 0xbeef)
+	return g
+}
+
+func TestResultReport(t *testing.T) {
+	g := reportTestGraph(2, 300, 1800)
+	reg := metrics.NewRegistry()
+	opt := Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Workers: 4, Seed: 9, Metrics: reg}
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report(opt)
+	if rep.Schema != metrics.SchemaVersion || rep.Algorithm != "IMMmt" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if rep.Theta != res.Theta || rep.StoreBytes != res.StoreBytes {
+		t.Fatalf("bookkeeping mismatch: %+v vs %+v", rep, res)
+	}
+	if len(rep.WorkerWork) != 4 {
+		t.Fatalf("workerWork = %v", rep.WorkerWork)
+	}
+	if rep.WorkHistogram == nil || rep.WorkHistogram.Count != 4 {
+		t.Fatalf("work histogram = %+v", rep.WorkHistogram)
+	}
+	if rep.WorkBalance != res.WorkBalance {
+		t.Fatalf("balance = %v, want %v", rep.WorkBalance, res.WorkBalance)
+	}
+	if rep.PhaseSeconds == nil || rep.TotalSeconds <= 0 {
+		t.Fatalf("phases = %v total = %v", rep.PhaseSeconds, rep.TotalSeconds)
+	}
+
+	// The engine instruments must have recorded through the registry.
+	if rep.Metrics == nil {
+		t.Fatal("registry snapshot missing")
+	}
+	if got := rep.Metrics.Counters["rrr/samples"]; got != int64(res.SamplesGenerated) {
+		t.Fatalf("rrr/samples = %d, want %d", got, res.SamplesGenerated)
+	}
+	sizes := rep.Metrics.Histograms["rrr/size"]
+	if sizes == nil || sizes.Count != int64(res.SamplesGenerated) {
+		t.Fatalf("rrr/size = %+v", sizes)
+	}
+	if rep.Metrics.Counters["rrr/entries"] != sizes.Sum {
+		t.Fatalf("rrr/entries = %d, histogram sum %d", rep.Metrics.Counters["rrr/entries"], sizes.Sum)
+	}
+
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultReportAlgorithmNames(t *testing.T) {
+	g := reportTestGraph(4, 120, 600)
+	opt := Options{K: 3, Epsilon: 0.5, Model: diffuse.IC, Workers: 1, Seed: 1}
+	seq, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Algorithm != "IMMopt" || seq.Report(opt).Algorithm != "IMMopt" {
+		t.Fatalf("sequential algorithm = %q", seq.Algorithm)
+	}
+	base, err := RunBaseline(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Algorithm != "IMM" {
+		t.Fatalf("baseline algorithm = %q", base.Algorithm)
+	}
+	opt.Workers = 2
+	mt, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Algorithm != "IMMmt" {
+		t.Fatalf("multithreaded algorithm = %q", mt.Algorithm)
+	}
+}

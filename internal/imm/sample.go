@@ -3,6 +3,7 @@ package imm
 import (
 	"influmax/internal/diffuse"
 	"influmax/internal/graph"
+	"influmax/internal/metrics"
 	"influmax/internal/par"
 	"influmax/internal/rng"
 	"influmax/internal/rrr"
@@ -26,6 +27,12 @@ type samplerState struct {
 	// generated: the sampling-load balance across workers bounds the
 	// strong-scaling efficiency of the sampling phase.
 	workerWork []int64
+
+	// Instrumentation resolved once from Options.Metrics (all nil when
+	// metrics are disabled, keeping the hot path branch-and-go).
+	mSamples *metrics.Counter
+	mEntries *metrics.Counter
+	mSize    *metrics.Histogram
 }
 
 // newSamplerState prepares sampling for a run over g.
@@ -46,7 +53,26 @@ func newSamplerState(g *graph.Graph, opt Options) *samplerState {
 			st.workerRands[w] = rng.New(base.LeapFrog(w, opt.Workers))
 		}
 	}
+	if opt.Metrics != nil {
+		st.mSamples = opt.Metrics.Counter("rrr/samples")
+		st.mEntries = opt.Metrics.Counter("rrr/entries")
+		st.mSize = opt.Metrics.Histogram("rrr/size")
+	}
 	return st
+}
+
+// recordBatch feeds one merged batch into the optional metrics registry:
+// sample and entry counters plus the RRR-set-size histogram (offsets are
+// the arena's cumulative layout, so adjacent differences are set sizes).
+func (st *samplerState) recordBatch(offsets []int64) {
+	if st.mSize == nil {
+		return
+	}
+	st.mSamples.Add(int64(len(offsets) - 1))
+	st.mEntries.Add(offsets[len(offsets)-1])
+	for i := 1; i < len(offsets); i++ {
+		st.mSize.Observe(offsets[i] - offsets[i-1])
+	}
 }
 
 // workerArena buffers one worker's freshly generated samples before the
@@ -92,6 +118,7 @@ func (st *samplerState) sampleBatch(col *rrr.Collection, count int) {
 	})
 	for _, a := range arenas {
 		col.AppendArena(a.verts, a.offsets)
+		st.recordBatch(a.offsets)
 	}
 	st.nextID += uint64(count)
 }
@@ -131,6 +158,11 @@ func (st *samplerState) sampleBatchNaive(store *rrr.NaiveStore, count int) {
 		root := graph.Vertex(stream.Intn(n))
 		buf = sampler.GenerateRR(stream, root, buf[:0])
 		store.Append(buf)
+		if st.mSize != nil {
+			st.mSamples.Inc()
+			st.mEntries.Add(int64(len(buf)))
+			st.mSize.Observe(int64(len(buf)))
+		}
 	}
 	st.nextID += uint64(count)
 }

@@ -1,0 +1,34 @@
+// Package metrics is the observability layer of the repository: a
+// lightweight, allocation-conscious metrics registry (counters, gauges,
+// and histograms with fixed power-of-two buckets) plus the structured
+// RunReport that unifies what used to be scattered across imm.Result,
+// trace.Times and ad-hoc harness prints.
+//
+// Mapping to the paper's Section 3 machinery and its evaluation:
+//
+//   - RunReport.PhaseSeconds is the stacked-bar decomposition of Figures
+//     3-8 (EstimateTheta / Sample / SelectSeeds / Other, keyed by
+//     trace.Phase.String()).
+//   - RunReport.StoreBytes and HeapBytes are the Table 2 memory columns:
+//     the exact RRR-store accounting and the coarse live-heap probe.
+//   - RunReport.WorkerWork and WorkHistogram record per-worker sampling
+//     work (RRR entries generated); their avg/max ratio (WorkBalance) is
+//     the load balance that bounds the strong-scaling efficiency of
+//     Figures 5-8.
+//   - RunReport.PerRank holds one RankReport per MPI-style rank for
+//     IMMdist runs (Section 3.2), gathered to rank 0 over the
+//     internal/mpi GatherBytes collective — the per-rank breakdowns behind
+//     Figures 7-8 without any stdout parsing.
+//
+// The hot-path types (Counter, Gauge, Histogram) are single allocations of
+// atomics: Observe/Add/Inc never allocate and are safe for concurrent use
+// by sampling workers. A Registry is a name-keyed collection of them;
+// Snapshot freezes everything into plain maps for JSON serialization
+// inside a RunReport.
+//
+// Every CLI takes -metrics-json <path> to write one RunReport (schema
+// version SchemaVersion) per run, and -pprof <addr> /-cpuprofile
+// /-memprofile to expose the pprof hooks in this package, so
+// BENCH_*.json-style performance trajectories can be produced without
+// parsing human-oriented output.
+package metrics

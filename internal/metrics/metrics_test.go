@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("samples")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	if r.Counter("samples") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("bytes")
+	g.Set(100)
+	g.Add(-40)
+	if g.Value() != 60 {
+		t.Fatalf("gauge = %d, want 60", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 7, 8, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 9 || s.Sum != 1026 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("min=%d max=%d", s.Min, s.Max)
+	}
+	// Bucket upper bounds are 2^i - 1: 0 | 1 | 3 | 7 | 15 | ... | 1023.
+	want := map[int64]int64{0: 1, 1: 2, 3: 2, 7: 2, 15: 1, 1023: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want bounds %v", s.Buckets, want)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(math.MaxInt64)
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Min != -5 || s.Max != math.MaxInt64 {
+		t.Fatalf("min=%d max=%d", s.Min, s.Max)
+	}
+	if len(s.Buckets) != 2 || s.Buckets[0].Le != 0 || s.Buckets[1].Le != math.MaxInt64 {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+// TestConcurrentObserve exercises the atomic paths under the race
+// detector (the acceptance gate runs this package with -race).
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("work")
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per || c.Value() != workers*per {
+		t.Fatalf("count=%d counter=%d", h.Count(), c.Value())
+	}
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != workers*per-1 {
+		t.Fatalf("min=%d max=%d", s.Min, s.Max)
+	}
+}
+
+func TestRegistrySnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	if r.Snapshot() != nil {
+		t.Fatal("empty registry should snapshot to nil")
+	}
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(3)
+	r.Histogram("c").Observe(4)
+	s := r.Snapshot()
+	if s.Counters["a"] != 2 || s.Gauges["b"] != 3 || s.Histograms["c"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWorkBalanceOf(t *testing.T) {
+	if got := WorkBalanceOf([]int64{10, 10, 10, 10}); got != 1.0 {
+		t.Fatalf("perfect balance = %v", got)
+	}
+	if got := WorkBalanceOf([]int64{40, 0, 0, 0}); got != 0.25 {
+		t.Fatalf("worst balance = %v", got)
+	}
+	if got := WorkBalanceOf(nil); got != 0 {
+		t.Fatalf("empty work = %v", got)
+	}
+}

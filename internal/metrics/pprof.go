@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"runtime"
+	runpprof "runtime/pprof"
+)
+
+// StartPprofServer exposes net/http/pprof on addr (e.g. "localhost:6060")
+// and returns the bound server; callers may Close it or just let it die
+// with the process. The listener is bound synchronously so a bad address
+// fails here, not in a background goroutine.
+func StartPprofServer(addr string) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: pprof listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // dies with the process
+	return srv, nil
+}
+
+// StartCPUProfile begins a runtime CPU profile into path and returns the
+// function that stops it and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: cpu profile: %w", err)
+	}
+	if err := runpprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("metrics: cpu profile: %w", err)
+	}
+	return func() error {
+		runpprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile captures a heap profile into path, running a GC first
+// so the profile reflects live objects (the Table 2 memory question).
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := runpprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("metrics: heap profile: %w", err)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ const (
 	tagGather
 	tagAllGather
 	tagAllToAll
+	tagGatherBytes
 )
 
 // Op is a reduction operator.
@@ -264,6 +265,32 @@ func Gather[T Number](c Comm, root int, data []T) ([][]T, error) {
 			return nil, err
 		}
 		out[r] = decode[T](payload)
+	}
+	return out, nil
+}
+
+// GatherBytes collects each rank's opaque payload at root, indexed by
+// rank; non-root ranks receive nil. It is the untyped sibling of Gather,
+// used where ranks exchange serialized structures (the per-rank RunReport
+// sub-reports of internal/metrics) rather than numeric vectors.
+func GatherBytes(c Comm, root int, payload []byte) ([][]byte, error) {
+	if err := checkPeer(c, root); err != nil {
+		return nil, err
+	}
+	if c.Rank() != root {
+		return nil, c.Send(root, tagGatherBytes, payload)
+	}
+	out := make([][]byte, c.Size())
+	out[root] = payload
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		p, err := c.Recv(r, tagGatherBytes)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = p
 	}
 	return out, nil
 }

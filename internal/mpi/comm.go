@@ -1,19 +1,3 @@
-// Package mpi is the message-passing substrate underneath the distributed
-// IMM implementation. The paper's algorithm needs only the classic
-// single-program-multiple-data discipline: p ranks, point-to-point
-// send/receive, and the collectives Barrier, Broadcast, Reduce, AllReduce,
-// Gather and AllGather ("the dominant communication of the distributed
-// implementation is due to the All-Reduce operations", Section 3.2).
-//
-// Two transports implement the Comm interface: an in-process transport
-// (ranks are goroutines exchanging buffers through mailboxes; the analog of
-// running MPI ranks on one node) and a TCP transport (ranks are processes
-// in a full mesh of length-framed connections; the analog of a cluster).
-// The collectives are transport-agnostic binomial trees, giving the same
-// O(log p) step counts the paper's communication analysis assumes.
-//
-// Usage contract (as in MPI): each rank drives its Comm from a single
-// goroutine, and all ranks issue the same sequence of collective calls.
 package mpi
 
 import (

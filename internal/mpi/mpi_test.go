@@ -246,6 +246,34 @@ func TestGather(t *testing.T) {
 	})
 }
 
+func TestGatherBytes(t *testing.T) {
+	for _, p := range []int{1, 2, 5} {
+		runSPMD(t, p, func(c Comm) error {
+			payload := []byte(fmt.Sprintf("rank-%d-report", c.Rank()))
+			out, err := GatherBytes(c, 0, payload)
+			if err != nil {
+				return err
+			}
+			if c.Rank() != 0 {
+				if out != nil {
+					return fmt.Errorf("non-root got %v", out)
+				}
+				return nil
+			}
+			if len(out) != p {
+				return fmt.Errorf("root gathered %d payloads, want %d", len(out), p)
+			}
+			for r := 0; r < p; r++ {
+				want := fmt.Sprintf("rank-%d-report", r)
+				if string(out[r]) != want {
+					return fmt.Errorf("gathered[%d] = %q, want %q", r, out[r], want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
 func TestAllGather(t *testing.T) {
 	for _, p := range []int{1, 3, 6} {
 		runSPMD(t, p, func(c Comm) error {

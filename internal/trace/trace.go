@@ -1,12 +1,9 @@
-// Package trace provides the phase instrumentation behind the paper's
-// stacked-bar runtime figures: every IMM run is decomposed into the
-// Estimation, Sample, SelectSeeds and Other phases of Algorithm 1
-// (Figures 3-8), plus a coarse memory probe for Table 2.
 package trace
 
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -29,19 +26,27 @@ const (
 	numPhases
 )
 
+// phaseNames is the single source of phase-name truth: Phase.String,
+// Times.String, the metrics RunReport keys and the harness table headers
+// all render from this table.
+var phaseNames = [numPhases]string{
+	Estimation:  "EstimateTheta",
+	Sampling:    "Sample",
+	SelectSeeds: "SelectSeeds",
+	Other:       "Other",
+}
+
 // String returns the phase name as used in the paper's legends.
 func (p Phase) String() string {
-	switch p {
-	case Estimation:
-		return "EstimateTheta"
-	case Sampling:
-		return "Sample"
-	case SelectSeeds:
-		return "SelectSeeds"
-	case Other:
-		return "Other"
+	if p >= 0 && p < numPhases {
+		return phaseNames[p]
 	}
 	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// AllPhases returns every phase in legend order.
+func AllPhases() []Phase {
+	return []Phase{Estimation, Sampling, SelectSeeds, Other}
 }
 
 // Times records the wall-clock duration of each phase.
@@ -80,8 +85,24 @@ func (t *Times) Merge(other Times) {
 
 // String formats the breakdown in legend order.
 func (t *Times) String() string {
-	return fmt.Sprintf("EstimateTheta=%v Sample=%v SelectSeeds=%v Other=%v",
-		t.d[Estimation], t.d[Sampling], t.d[SelectSeeds], t.d[Other])
+	var b strings.Builder
+	for i, p := range AllPhases() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", p, t.d[p])
+	}
+	return b.String()
+}
+
+// Seconds returns the breakdown as a phase-name-keyed map of seconds, the
+// form the metrics RunReport serializes.
+func (t *Times) Seconds() map[string]float64 {
+	m := make(map[string]float64, len(phaseNames))
+	for _, p := range AllPhases() {
+		m[p.String()] = t.d[p].Seconds()
+	}
+	return m
 }
 
 // HeapAlloc returns the current live-heap size in bytes; a coarse stand-in

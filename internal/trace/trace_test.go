@@ -6,20 +6,41 @@ import (
 	"time"
 )
 
-func TestPhaseNamesMatchPaperLegends(t *testing.T) {
-	want := map[Phase]string{
-		Estimation:  "EstimateTheta",
-		Sampling:    "Sample",
-		SelectSeeds: "SelectSeeds",
-		Other:       "Other",
+// TestPhaseString is the table-driven single-source-of-truth check: every
+// phase renders the exact paper legend name, and out-of-range values (both
+// directions) degrade to the Phase(n) form instead of panicking.
+func TestPhaseString(t *testing.T) {
+	tests := []struct {
+		p    Phase
+		want string
+	}{
+		{Estimation, "EstimateTheta"},
+		{Sampling, "Sample"},
+		{SelectSeeds, "SelectSeeds"},
+		{Other, "Other"},
+		{Phase(-1), "Phase(-1)"},
+		{numPhases, "Phase(4)"},
+		{Phase(99), "Phase(99)"},
 	}
-	for p, name := range want {
-		if p.String() != name {
-			t.Errorf("%d.String() = %q, want %q", p, p.String(), name)
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(tt.p), got, tt.want)
 		}
 	}
-	if Phase(99).String() == "" {
-		t.Error("unknown phase has empty name")
+}
+
+// TestAllPhasesCoversEveryPhase pins AllPhases to the full legend-ordered
+// enumeration, so consumers iterating it (metrics, harness) can never miss
+// a phase added later.
+func TestAllPhasesCoversEveryPhase(t *testing.T) {
+	all := AllPhases()
+	if len(all) != int(numPhases) {
+		t.Fatalf("AllPhases() has %d entries, want %d", len(all), numPhases)
+	}
+	for i, p := range all {
+		if p != Phase(i) {
+			t.Errorf("AllPhases()[%d] = %v, want %v", i, p, Phase(i))
+		}
 	}
 }
 
@@ -58,13 +79,39 @@ func TestMerge(t *testing.T) {
 	}
 }
 
-func TestStringContainsAllPhases(t *testing.T) {
+// TestStringUsesPhaseNames checks Times.String renders through
+// Phase.String (the single source of truth) for every phase, in legend
+// order.
+func TestStringUsesPhaseNames(t *testing.T) {
 	var tm Times
 	s := tm.String()
-	for _, name := range []string{"EstimateTheta", "Sample", "SelectSeeds", "Other"} {
-		if !strings.Contains(s, name) {
-			t.Fatalf("String() missing %s: %q", name, s)
+	prev := -1
+	for _, p := range AllPhases() {
+		idx := strings.Index(s, p.String()+"=")
+		if idx < 0 {
+			t.Fatalf("String() missing %s: %q", p, s)
 		}
+		if idx < prev {
+			t.Fatalf("String() out of legend order: %q", s)
+		}
+		prev = idx
+	}
+}
+
+func TestSecondsKeyedByPhaseNames(t *testing.T) {
+	var tm Times
+	tm.Add(Sampling, 1500*time.Millisecond)
+	m := tm.Seconds()
+	if len(m) != int(numPhases) {
+		t.Fatalf("Seconds() has %d keys, want %d", len(m), numPhases)
+	}
+	for _, p := range AllPhases() {
+		if _, ok := m[p.String()]; !ok {
+			t.Fatalf("Seconds() missing key %q", p.String())
+		}
+	}
+	if m[Sampling.String()] != 1.5 {
+		t.Fatalf("Seconds()[Sample] = %v, want 1.5", m[Sampling.String()])
 	}
 }
 
