@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench clean
+.PHONY: check build vet test race bench fmt fmt-check clean
 
-## check: the CI-grade gate — compile everything, vet, and run the full
-## test suite under the race detector.
-check: build vet race
+## check: the CI-grade gate — compile everything, check formatting, vet,
+## and run the full test suite under the race detector.
+check: build fmt-check vet race
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## fmt: rewrite the tree into canonical gofmt form.
+fmt:
+	gofmt -w .
+
+## fmt-check: fail (listing offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 ## bench: run every paper-figure benchmark once (long).
 bench:

@@ -149,7 +149,8 @@ func TestPublicPhaseAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := res.Phases.Get(influmax.PhaseEstimation) + res.Phases.Get(influmax.PhaseSampling) +
-		res.Phases.Get(influmax.PhaseSelect) + res.Phases.Get(influmax.PhaseOther)
+		res.Phases.Get(influmax.PhaseIndexBuild) + res.Phases.Get(influmax.PhaseSelect) +
+		res.Phases.Get(influmax.PhaseOther)
 	if total != res.Phases.Total() {
 		t.Fatal("phase sum != total")
 	}

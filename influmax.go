@@ -72,6 +72,9 @@ const (
 	PhaseEstimation = trace.Estimation
 	// PhaseSampling is the direct Sample invocation (Algorithm 3).
 	PhaseSampling = trace.Sampling
+	// PhaseIndexBuild is the construction of the inverted vertex->samples
+	// incidence index the final seed selection purges through.
+	PhaseIndexBuild = trace.IndexBuild
 	// PhaseSelect is the final SelectSeeds invocation (Algorithm 4).
 	PhaseSelect = trace.SelectSeeds
 	// PhaseOther is setup and accounting.

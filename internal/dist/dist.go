@@ -54,6 +54,9 @@ type Result struct {
 	LowerBound float64
 	// StoreBytes is this rank's RRR store footprint.
 	StoreBytes int64
+	// IndexBytes is this rank's inverted-incidence index footprint (the
+	// transient lookup structure of the final seed selection).
+	IndexBytes int64
 	// LocalWork is this rank's sampling work (total stored RRR entries),
 	// the quantity whose balance across ranks determines strong-scaling
 	// efficiency on real hardware.
@@ -157,9 +160,18 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 		return nil, phaseErr
 	}
 
+	// Phase 2.5: each rank inverts its local shard of R into the
+	// vertex->samples index the purge step looks up (index builds inside
+	// the estimation loop are accounted to Estimation, as in imm.Run).
+	var idx *rrr.Index
+	res.Phases.Measure(trace.IndexBuild, func() {
+		idx = rrr.BuildIndex(st.col, st.threads)
+	})
+	res.IndexBytes = idx.Bytes()
+
 	// Phase 3: distributed SelectSeeds.
 	res.Phases.Measure(trace.SelectSeeds, func() {
-		seeds, cov, err := st.selectSeeds()
+		seeds, cov, err := st.selectSeedsIndexed(idx)
 		if err != nil {
 			phaseErr = err
 			return
@@ -240,10 +252,18 @@ func (st *state) sampleGlobal(count int64) error {
 	return nil
 }
 
-// selectSeeds is the distributed Algorithm 4: global counters via
-// AllReduce, identical local argmax on every rank, local purge, AllReduce
-// of the decrements. Returns the seeds and the global covered count.
+// selectSeeds builds the local shard's inverted index and runs the indexed
+// distributed selection (the estimation-loop entry point; the final
+// selection times the build separately via trace.IndexBuild).
 func (st *state) selectSeeds() ([]graph.Vertex, int64, error) {
+	return st.selectSeedsIndexed(rrr.BuildIndex(st.col, st.threads))
+}
+
+// selectSeedsIndexed is the distributed Algorithm 4: global counters via
+// AllReduce, identical local argmax on every rank, local purge by index
+// lookup over the rank's shard of R, AllReduce of the decrements. Returns
+// the seeds and the global covered count.
+func (st *state) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, error) {
 	n := st.g.NumVertices()
 	k := st.opt.K
 	counter := make([]int64, n)
@@ -252,11 +272,12 @@ func (st *state) selectSeeds() ([]graph.Vertex, int64, error) {
 		return nil, 0, err
 	}
 
-	covered := make([]bool, st.col.Count())
+	covered := rrr.NewBitset(st.col.Count())
 	chosen := make([]bool, n)
 	seeds := make([]graph.Vertex, 0, k)
 	var coveredCount int64
 	dec := make([]int64, n)
+	var matched []int32
 	for len(seeds) < k {
 		// Identical argmax on every rank: deterministic tie-breaking.
 		best, arg := int64(-1), -1
@@ -272,31 +293,31 @@ func (st *state) selectSeeds() ([]graph.Vertex, int64, error) {
 		seeds = append(seeds, v)
 		chosen[arg] = true
 		coveredCount += counter[v]
-		// Local purge + decrement accumulation (multithreaded over vertex
-		// intervals, synchronization-free as in Algorithm 4).
+		// Local purge: the seed's uncovered local samples come straight
+		// off its incidence list (marked covered before the parallel
+		// region); decrement accumulation stays multithreaded over vertex
+		// intervals, synchronization-free as in Algorithm 4.
 		clear(dec)
-		var matched []int32
+		matched = matched[:0]
+		for _, j := range idx.SamplesOf(v) {
+			if covered.Get(int(j)) {
+				continue
+			}
+			covered.Set(int(j))
+			matched = append(matched, j)
+		}
 		p := st.threads
 		if p > n {
 			p = n
 		}
 		par.Run(p, func(rank int) {
 			vl, vh := par.Interval(n, p, rank)
-			for j := 0; j < st.col.Count(); j++ {
-				if covered[j] || !st.col.Contains(j, v) {
-					continue
-				}
-				for _, u := range st.col.RangeOf(j, graph.Vertex(vl), graph.Vertex(vh)) {
+			for _, j := range matched {
+				for _, u := range st.col.RangeOf(int(j), graph.Vertex(vl), graph.Vertex(vh)) {
 					dec[u]++
-				}
-				if rank == 0 {
-					matched = append(matched, int32(j))
 				}
 			}
 		})
-		for _, j := range matched {
-			covered[j] = true
-		}
 		if err := mpi.AllReduce(st.c, dec, mpi.Sum); err != nil {
 			return nil, 0, err
 		}

@@ -70,6 +70,9 @@ type PartResult struct {
 	OwnedLo, OwnedHi graph.Vertex
 	// StoreBytes is this rank's partition of the RRR store.
 	StoreBytes int64
+	// IndexBytes is this rank's inverted-incidence index footprint over
+	// its local shard (owned-interval members only).
+	IndexBytes int64
 	// Phases is the wall-clock breakdown.
 	Phases trace.Times
 	// Ranks is the communicator size.
@@ -240,8 +243,16 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 		return nil, phaseErr
 	}
 
+	// Each rank inverts its local shard (samples restricted to the owned
+	// vertex interval) so the seed owner's purge enumeration is a lookup.
+	var idx *rrr.Index
+	res.Phases.Measure(trace.IndexBuild, func() {
+		idx = rrr.BuildIndex(st.col, 1)
+	})
+	res.IndexBytes = idx.Bytes()
+
 	res.Phases.Measure(trace.SelectSeeds, func() {
-		seeds, cov, err := st.selectSeeds()
+		seeds, cov, err := st.selectSeedsIndexed(idx)
 		if err != nil {
 			phaseErr = err
 			return
@@ -396,14 +407,23 @@ func (st *partState) route(next *[]pair, outgoing [][]pair, visited func(int, gr
 	outgoing[owner(st.part.n, size, u)] = append(outgoing[owner(st.part.n, size, u)], pair{s, u})
 }
 
-// selectSeeds is the vertex-partitioned Algorithm 4: counters are local to
-// each interval, the argmax is a small AllGather, and only the owner of
-// the chosen seed knows (and broadcasts) which samples it covers.
+// selectSeeds builds the local-shard index and runs the indexed selection
+// (the estimation-loop entry point; RunPartitioned times the final build
+// separately via trace.IndexBuild).
 func (st *partState) selectSeeds() ([]graph.Vertex, int64, error) {
+	return st.selectSeedsIndexed(rrr.BuildIndex(st.col, 1))
+}
+
+// selectSeedsIndexed is the vertex-partitioned Algorithm 4: counters are
+// local to each interval, the argmax is a small AllGather, and only the
+// owner of the chosen seed knows (and broadcasts) which samples it covers
+// — read directly off the owner's shard index instead of a scan over every
+// local sample.
+func (st *partState) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, error) {
 	p := st.part
 	width := int(p.hi - p.lo)
 	counter := make([]int32, p.n) // only [lo, hi) is used
-	covered := make([]bool, st.col.Count())
+	covered := rrr.NewBitset(st.col.Count())
 	st.col.CountRange(counter, nil, p.lo, p.hi)
 	chosen := make([]bool, width)
 
@@ -444,11 +464,13 @@ func (st *partState) selectSeeds() ([]graph.Vertex, int64, error) {
 		if ownerRank == st.c.Rank() {
 			chosen[v-p.lo] = true
 		}
-		// The owner enumerates the uncovered samples containing v.
+		// The owner reads the uncovered samples containing v off its shard
+		// index (v lies in the owner's interval, so its incidence is fully
+		// local there).
 		var matched []int64
 		if ownerRank == st.c.Rank() {
-			for j := 0; j < st.col.Count(); j++ {
-				if !covered[j] && st.col.Contains(j, v) {
+			for _, j := range idx.SamplesOf(v) {
+				if !covered.Get(int(j)) {
 					matched = append(matched, int64(j))
 				}
 			}
@@ -459,7 +481,7 @@ func (st *partState) selectSeeds() ([]graph.Vertex, int64, error) {
 		}
 		// Everyone purges those samples from their interval's counters.
 		for _, j := range matched {
-			covered[j] = true
+			covered.Set(int(j))
 			for _, u := range st.col.RangeOf(int(j), p.lo, p.hi) {
 				counter[u]--
 			}

@@ -13,6 +13,7 @@ func (r *Result) RankReport() metrics.RankReport {
 		LocalSamples: int64(r.LocalSamples),
 		LocalWork:    r.LocalWork,
 		StoreBytes:   r.StoreBytes,
+		IndexBytes:   r.IndexBytes,
 		PhaseSeconds: r.Phases.Seconds(),
 		TotalSeconds: r.Phases.Total().Seconds(),
 	}
@@ -70,6 +71,7 @@ func buildReport(opt Options, root *Result, perRank []metrics.RankReport) *metri
 	h := metrics.NewHistogram()
 	for r, sub := range perRank {
 		rep.StoreBytes += sub.StoreBytes
+		rep.IndexBytes += sub.IndexBytes
 		work[r] = sub.LocalWork
 		h.Observe(sub.LocalWork)
 	}
@@ -95,6 +97,7 @@ func ReportPartitioned(opt PartOptions, res *PartResult) *metrics.RunReport {
 	rep.CoverageFraction = res.CoverageFraction
 	rep.EstimatedSpread = res.EstimatedSpread
 	rep.StoreBytes = res.StoreBytes
+	rep.IndexBytes = res.IndexBytes
 	rep.HeapBytes = trace.HeapAlloc()
 	return rep
 }

@@ -197,12 +197,13 @@ func phaseRow(prefix []string, ph trace.Times) []string {
 	return append(prefix,
 		fmtDur(ph.Get(trace.Estimation).Seconds()),
 		fmtDur(ph.Get(trace.Sampling).Seconds()),
+		fmtDur(ph.Get(trace.IndexBuild).Seconds()),
 		fmtDur(ph.Get(trace.SelectSeeds).Seconds()),
 		fmtDur(ph.Get(trace.Other).Seconds()),
 		fmtDur(ph.Total().Seconds()))
 }
 
-var phaseHeader = []string{"EstimateTheta (s)", "Sample (s)", "SelectSeeds (s)", "Other (s)", "Total (s)"}
+var phaseHeader = []string{"EstimateTheta (s)", "Sample (s)", "BuildIndex (s)", "SelectSeeds (s)", "Other (s)", "Total (s)"}
 
 // Fig3 regenerates Figure 3: runtime vs eps at k = 50, IC model, with the
 // per-phase breakdown, for each dataset.

@@ -32,6 +32,10 @@ type Result struct {
 	LowerBound float64
 	// StoreBytes is the RRR store footprint (the Table 2 memory column).
 	StoreBytes int64
+	// IndexBytes is the footprint of the inverted incidence index built for
+	// the final seed selection (zero for the baseline, whose NaiveStore
+	// carries the incidence permanently inside StoreBytes).
+	IndexBytes int64
 	// Phases is the wall-clock breakdown of the figures' stacked bars.
 	Phases trace.Times
 	// Workers is the resolved thread count.
@@ -85,9 +89,22 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		st.sampleBatch(col, int(res.Theta)-col.Count())
 	})
 
-	// Phase 3: SelectSeeds (Algorithm 4).
+	// Phase 2.5: invert the finished collection into the vertex->samples
+	// index the purge step looks up. Builds inside the estimation loop are
+	// accounted to Estimation, like the Sample calls made there; this final
+	// build over the full theta samples gets its own bar.
+	var idx *rrr.Index
+	res.Phases.Measure(trace.IndexBuild, func() {
+		idx = rrr.BuildIndex(col, opt.Workers)
+	})
+	res.IndexBytes = idx.Bytes()
+	if opt.Metrics != nil {
+		opt.Metrics.Gauge("rrr/index-bytes").Set(idx.Bytes())
+	}
+
+	// Phase 3: SelectSeeds (Algorithm 4, index-driven purge).
 	res.Phases.Measure(trace.SelectSeeds, func() {
-		seeds, cov := SelectSeeds(col, opt.K, opt.Workers)
+		seeds, cov := SelectSeedsIndexed(col, idx, opt.K, opt.Workers)
 		res.Seeds = seeds
 		if c := col.Count(); c > 0 {
 			res.CoverageFraction = float64(cov) / float64(c)

@@ -24,6 +24,7 @@ func (r *Result) Report(opt Options) *metrics.RunReport {
 	rep.CoverageFraction = r.CoverageFraction
 	rep.EstimatedSpread = r.EstimatedSpread
 	rep.StoreBytes = r.StoreBytes
+	rep.IndexBytes = r.IndexBytes
 	rep.HeapBytes = trace.HeapAlloc()
 	if len(r.WorkerWork) > 0 {
 		rep.WorkerWork = r.WorkerWork

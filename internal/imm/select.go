@@ -10,14 +10,28 @@ import (
 // over the collection with p workers and returns the k seeds in selection
 // order together with the number of samples they cover.
 //
-// Parallelization follows the paper exactly: the vertex set is split into
-// p contiguous intervals, each owned by one worker, so counter updates
-// need no atomics; every worker visits all samples but navigates to its
-// interval within each sorted sample by binary search. The per-iteration
-// argmax is a parallel reduction with deterministic tie-breaking (smaller
-// vertex id wins).
+// It builds the inverted incidence index of the collection and runs the
+// indexed selection, which purges covered samples by direct lookup instead
+// of the paper's per-seed scan over all samples; the output is byte-
+// identical to SelectSeedsScan (the scan path is kept for exactly that
+// regression check). Callers that already hold an Index — or that want the
+// build timed separately, as Run does — use SelectSeedsIndexed directly.
 func SelectSeeds(col *rrr.Collection, k, p int) ([]graph.Vertex, int64) {
+	return SelectSeedsIndexed(col, rrr.BuildIndex(col, p), k, p)
+}
+
+// SelectSeedsIndexed is greedy max-coverage with index-driven purging: the
+// interval-owned counters, deterministic parallel argmax and padding-seed
+// behaviour of Algorithm 4 are unchanged, but when a seed is chosen its
+// uncovered samples come straight from idx.SamplesOf instead of a
+// membership test against every sample, cutting the per-iteration cost from
+// O(|R|) sample visits to O(degree of the seed). idx must have been built
+// from col (or an identical collection).
+func SelectSeedsIndexed(col *rrr.Collection, idx *rrr.Index, k, p int) ([]graph.Vertex, int64) {
 	n := col.NumVertices()
+	if n == 0 {
+		return nil, 0
+	}
 	if p <= 0 {
 		p = par.DefaultWorkers()
 	}
@@ -25,7 +39,7 @@ func SelectSeeds(col *rrr.Collection, k, p int) ([]graph.Vertex, int64) {
 		p = n
 	}
 	counter := make([]int32, n)
-	covered := make([]bool, col.Count())
+	covered := rrr.NewBitset(col.Count())
 
 	// Step 1: population counts, each worker over its own vertex interval.
 	par.Run(p, func(rank int) {
@@ -39,6 +53,7 @@ func SelectSeeds(col *rrr.Collection, k, p int) ([]graph.Vertex, int64) {
 
 	bests := make([]int64, p)
 	args := make([]int, p)
+	var matched []int32
 	for len(seeds) < k {
 		// Parallel argmax over vertex intervals.
 		par.Run(p, func(rank int) {
@@ -66,15 +81,97 @@ func SelectSeeds(col *rrr.Collection, k, p int) ([]graph.Vertex, int64) {
 		if gain == 0 {
 			continue // padding seed: nothing to purge
 		}
+		// Purge by lookup: the seed's uncovered samples are read off its
+		// incidence list and marked covered before the parallel region, so
+		// the workers' reads of the bitset are race-free; each worker then
+		// decrements the counters of its own vertex interval for exactly
+		// those samples.
+		matched = matched[:0]
+		for _, j := range idx.SamplesOf(v) {
+			if covered.Get(int(j)) {
+				continue
+			}
+			covered.Set(int(j))
+			matched = append(matched, j)
+		}
+		par.Run(p, func(rank int) {
+			vl, vh := par.Interval(n, p, rank)
+			for _, j := range matched {
+				for _, u := range col.RangeOf(int(j), graph.Vertex(vl), graph.Vertex(vh)) {
+					counter[u]--
+				}
+			}
+		})
+	}
+	return seeds, coveredCount
+}
+
+// SelectSeedsScan is the paper's Algorithm 4 verbatim: every purge
+// re-scans the whole collection for samples containing the chosen seed
+// (worker 0 records the matches — "if i=0 then R <- R\{Rj}"). Kept as the
+// reference the indexed path must match byte-for-byte, and as the old side
+// of BenchmarkSelectSeeds.
+func SelectSeedsScan(col *rrr.Collection, k, p int) ([]graph.Vertex, int64) {
+	n := col.NumVertices()
+	if n == 0 {
+		return nil, 0
+	}
+	if p <= 0 {
+		p = par.DefaultWorkers()
+	}
+	if p > n {
+		p = n
+	}
+	counter := make([]int32, n)
+	covered := rrr.NewBitset(col.Count())
+
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		col.CountRange(counter, nil, graph.Vertex(vl), graph.Vertex(vh))
+	})
+
+	seeds := make([]graph.Vertex, 0, k)
+	chosen := make([]bool, n)
+	var coveredCount int64
+
+	bests := make([]int64, p)
+	args := make([]int, p)
+	var matched []int32
+	for len(seeds) < k {
+		par.Run(p, func(rank int) {
+			vl, vh := par.Interval(n, p, rank)
+			best, arg := int64(-1), -1
+			for v := vl; v < vh; v++ {
+				if chosen[v] {
+					continue
+				}
+				if c := int64(counter[v]); c > best {
+					best, arg = c, v
+				}
+			}
+			bests[rank], args[rank] = best, arg
+		})
+		_, arg := par.ReduceMax(bests, args)
+		if arg < 0 {
+			break
+		}
+		v := graph.Vertex(arg)
+		gain := int64(counter[v])
+		seeds = append(seeds, v)
+		chosen[arg] = true
+		coveredCount += gain
+		if gain == 0 {
+			continue
+		}
 		// Purge the samples containing v: every worker decrements the
 		// counters of its own vertex interval for each matching sample;
 		// worker 0 additionally records the matches, which are marked
-		// covered after the barrier (the paper's "if i=0 then R <- R\{Rj}").
-		var matched []int32
+		// covered after the barrier.
+		matched = matched[:0]
 		par.Run(p, func(rank int) {
 			vl, vh := par.Interval(n, p, rank)
 			for j := 0; j < col.Count(); j++ {
-				if covered[j] || !col.Contains(j, v) {
+				if covered.Get(j) || !col.Contains(j, v) {
 					continue
 				}
 				for _, u := range col.RangeOf(j, graph.Vertex(vl), graph.Vertex(vh)) {
@@ -86,7 +183,7 @@ func SelectSeeds(col *rrr.Collection, k, p int) ([]graph.Vertex, int64) {
 			}
 		})
 		for _, j := range matched {
-			covered[j] = true
+			covered.Set(int(j))
 		}
 	}
 	return seeds, coveredCount

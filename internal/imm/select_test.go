@@ -1,0 +1,144 @@
+package imm
+
+import (
+	"slices"
+	"testing"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/metrics"
+	"influmax/internal/rng"
+	"influmax/internal/rrr"
+)
+
+// rrrCollection samples `count` RRR sets from g into a Collection — the
+// realistic workload (skewed set sizes, clustered membership) for the
+// scan-vs-indexed equivalence checks below.
+func rrrCollection(g *graph.Graph, seed uint64, count int) *rrr.Collection {
+	col := rrr.NewCollection(g.NumVertices())
+	sampler := diffuse.NewSampler(g, diffuse.IC)
+	r := rng.New(rng.NewLCG(seed))
+	var buf []graph.Vertex
+	for i := 0; i < count; i++ {
+		buf = sampler.GenerateRR(r, graph.Vertex(r.Intn(g.NumVertices())), buf[:0])
+		col.Append(buf)
+	}
+	return col
+}
+
+// TestSelectSeedsIndexedMatchesScan is the tentpole's determinism gate: on
+// fixed-seed synthetic graphs, the index-driven selection must return
+// byte-identical seed sequences and coverage counts to the paper-faithful
+// scan implementation, for one and several workers.
+func TestSelectSeedsIndexedMatchesScan(t *testing.T) {
+	graphs := []struct {
+		seed uint64
+		n, m int
+	}{
+		{101, 80, 500},
+		{202, 150, 1200},
+		{303, 300, 2600},
+	}
+	for _, gc := range graphs {
+		g := testGraph(gc.seed, gc.n, gc.m)
+		col := rrrCollection(g, gc.seed^0xabcd, 400)
+		for _, p := range []int{1, 4} {
+			wantSeeds, wantCov := SelectSeedsScan(col, 12, p)
+			gotSeeds, gotCov := SelectSeeds(col, 12, p)
+			if !slices.Equal(gotSeeds, wantSeeds) || gotCov != wantCov {
+				t.Fatalf("graph seed=%d p=%d: indexed (%v, %d) != scan (%v, %d)",
+					gc.seed, p, gotSeeds, gotCov, wantSeeds, wantCov)
+			}
+			// The prebuilt-index entry point must agree too.
+			idx := rrr.BuildIndex(col, p)
+			idxSeeds, idxCov := SelectSeedsIndexed(col, idx, 12, p)
+			if !slices.Equal(idxSeeds, wantSeeds) || idxCov != wantCov {
+				t.Fatalf("graph seed=%d p=%d: SelectSeedsIndexed diverges", gc.seed, p)
+			}
+		}
+	}
+}
+
+// TestSelectSeedsPaddingSeeds exercises k larger than the number of
+// vertices with nonzero coverage: both paths must pad with zero-gain seeds
+// (deterministically, smallest id first) without over- or under-counting
+// coverage.
+func TestSelectSeedsPaddingSeeds(t *testing.T) {
+	// 12 vertices, but only 0..2 ever appear in a sample.
+	col := rrr.NewCollection(12)
+	col.Append([]graph.Vertex{0, 1})
+	col.Append([]graph.Vertex{1, 2})
+	col.Append([]graph.Vertex{1})
+	for _, p := range []int{1, 4} {
+		seeds, cov := SelectSeeds(col, 7, p)
+		scanSeeds, scanCov := SelectSeedsScan(col, 7, p)
+		if !slices.Equal(seeds, scanSeeds) || cov != scanCov {
+			t.Fatalf("p=%d: padding paths diverge: %v/%d vs %v/%d", p, seeds, cov, scanSeeds, scanCov)
+		}
+		if len(seeds) != 7 {
+			t.Fatalf("p=%d: got %d seeds, want 7 (padded)", p, len(seeds))
+		}
+		if cov != 3 {
+			t.Fatalf("p=%d: covered %d samples, want all 3", p, cov)
+		}
+		// Vertex 1 covers everything, so every later pick is padding and
+		// must proceed in ascending id order.
+		if seeds[0] != 1 {
+			t.Fatalf("p=%d: first seed %v, want 1", p, seeds[0])
+		}
+		sorted := append([]graph.Vertex(nil), seeds[1:]...)
+		slices.Sort(sorted)
+		if !slices.Equal(sorted, seeds[1:]) {
+			t.Fatalf("p=%d: padding seeds out of ascending order: %v", p, seeds)
+		}
+	}
+}
+
+// TestSelectSeedsMoreWorkersThanVertices is the par.Interval n < p shape:
+// the worker count must clamp without panicking or changing the output.
+func TestSelectSeedsMoreWorkersThanVertices(t *testing.T) {
+	col := rrr.NewCollection(3)
+	col.Append([]graph.Vertex{0, 2})
+	col.Append([]graph.Vertex{2})
+	ref, refCov := SelectSeeds(col, 2, 1)
+	for _, fn := range []func(*rrr.Collection, int, int) ([]graph.Vertex, int64){SelectSeeds, SelectSeedsScan} {
+		seeds, cov := fn(col, 2, 64)
+		if !slices.Equal(seeds, ref) || cov != refCov {
+			t.Fatalf("p=64: (%v, %d) != p=1 (%v, %d)", seeds, cov, ref, refCov)
+		}
+	}
+}
+
+// TestSelectSeedsZeroVertexUniverse is the n == 0 shape: an empty universe
+// must yield no seeds on every path rather than a partitioning panic.
+func TestSelectSeedsZeroVertexUniverse(t *testing.T) {
+	col := rrr.NewCollection(0)
+	for _, fn := range []func(*rrr.Collection, int, int) ([]graph.Vertex, int64){SelectSeeds, SelectSeedsScan} {
+		seeds, cov := fn(col, 3, 4)
+		if len(seeds) != 0 || cov != 0 {
+			t.Fatalf("n=0: seeds=%v cov=%d, want none", seeds, cov)
+		}
+	}
+}
+
+// TestRunRecordsIndex checks the Run plumbing: the index footprint must be
+// reported in the Result, the BuildIndex phase populated, and the
+// rrr/index-bytes gauge set when a registry is attached.
+func TestRunRecordsIndex(t *testing.T) {
+	g := testGraph(50, 120, 900)
+	reg := metrics.NewRegistry()
+	res, err := Run(g, Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Workers: 4, Seed: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IndexBytes <= 0 {
+		t.Fatal("IndexBytes not recorded")
+	}
+	if got := reg.Gauge("rrr/index-bytes").Value(); got != res.IndexBytes {
+		t.Fatalf("rrr/index-bytes gauge %d != IndexBytes %d", got, res.IndexBytes)
+	}
+	rep := res.Report(Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Seed: 2, Metrics: reg})
+	if rep.IndexBytes != res.IndexBytes {
+		t.Fatalf("report IndexBytes %d != %d", rep.IndexBytes, res.IndexBytes)
+	}
+}

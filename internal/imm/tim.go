@@ -117,9 +117,14 @@ func RunTIMPlus(g *graph.Graph, opt Options) (*TIMResult, error) {
 		st.sampleBatch(col, int(res.Theta)-col.Count())
 	})
 
-	// Phase 4: final selection.
+	// Phase 4: final selection, over the inverted incidence index.
+	var idx *rrr.Index
+	res.Phases.Measure(trace.IndexBuild, func() {
+		idx = rrr.BuildIndex(col, opt.Workers)
+	})
+	res.IndexBytes = idx.Bytes()
 	res.Phases.Measure(trace.SelectSeeds, func() {
-		seeds, cov := SelectSeeds(col, k, opt.Workers)
+		seeds, cov := SelectSeedsIndexed(col, idx, k, opt.Workers)
 		res.Seeds = seeds
 		if c := col.Count(); c > 0 {
 			res.CoverageFraction = float64(cov) / float64(c)

@@ -44,6 +44,34 @@ func TestIntervalBalance(t *testing.T) {
 	}
 }
 
+// TestIntervalEdgeShapes pins the two boundary shapes seed selection and
+// the index build clamp around: fewer items than workers (n < p, most
+// intervals empty) and an empty item set (n == 0, every interval empty).
+func TestIntervalEdgeShapes(t *testing.T) {
+	// n < p: every interval is [x, x) or [x, x+1); they still tile [0, n).
+	n, p := 3, 16
+	prevHi, nonEmpty := 0, 0
+	for r := 0; r < p; r++ {
+		lo, hi := Interval(n, p, r)
+		if lo != prevHi || hi < lo || hi-lo > 1 {
+			t.Fatalf("Interval(%d,%d,%d) = [%d,%d) breaks tiling", n, p, r, lo, hi)
+		}
+		if hi > lo {
+			nonEmpty++
+		}
+		prevHi = hi
+	}
+	if prevHi != n || nonEmpty != n {
+		t.Fatalf("n<p tiling: end %d, nonempty %d, want %d/%d", prevHi, nonEmpty, n, n)
+	}
+	// n == 0: every interval is [0, 0).
+	for r := 0; r < 4; r++ {
+		if lo, hi := Interval(0, 4, r); lo != 0 || hi != 0 {
+			t.Fatalf("Interval(0,4,%d) = [%d,%d), want [0,0)", r, lo, hi)
+		}
+	}
+}
+
 func TestIntervalPanics(t *testing.T) {
 	for _, tc := range []struct{ n, p, r int }{{10, 0, 0}, {10, 4, -1}, {10, 4, 4}} {
 		func() {

@@ -1,0 +1,133 @@
+package rrr
+
+import (
+	"influmax/internal/graph"
+	"influmax/internal/par"
+)
+
+// Index is the CSR vertex -> sample-ids inverted incidence of a Collection:
+// SamplesOf(v) lists, ascending, the ids of every sample containing v. It is
+// the lookup structure that turns Algorithm 4's purge step — "remove every
+// sample containing the chosen seed" — from a scan over all |R| samples into
+// a direct walk of the seed's incidence list, the strategy of HBMax and of
+// the sequential NaiveStore baseline, but built on demand from the compact
+// one-directional store so sampling keeps its halved memory footprint.
+//
+// Unlike Hypergraph, which maintains per-vertex slices incrementally during
+// Append (one allocation-prone slice per vertex, resident for the whole
+// run), Index is two flat arrays built in one parallel pass after sampling
+// finishes and dropped when selection ends.
+type Index struct {
+	offsets []int64 // len = NumVertices()+1
+	samples []int32 // concatenated ascending sample ids; len = TotalSize()
+}
+
+// BuildIndex constructs the inverted incidence of col with p workers
+// (p <= 0 uses the default). The build is the two-pass count / prefix-sum /
+// fill scheme over interval-partitioned workers: every worker owns a
+// contiguous vertex interval and touches only its own slots in every pass,
+// so no atomics are needed — the same ownership discipline Algorithm 4 uses
+// for its counter updates.
+func BuildIndex(col *Collection, p int) *Index {
+	n := col.NumVertices()
+	idx := &Index{offsets: make([]int64, n+1)}
+	if n == 0 || col.Count() == 0 {
+		return idx
+	}
+	if p <= 0 {
+		p = par.DefaultWorkers()
+	}
+	if p > n {
+		p = n
+	}
+
+	// Pass 1: per-vertex incidence counts. Each worker navigates to its
+	// interval within every sorted sample by binary search and increments
+	// only the counters it owns (offsets[v+1] doubles as the count slot).
+	counts := idx.offsets[1:]
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		for j := 0; j < col.Count(); j++ {
+			for _, u := range col.RangeOf(j, graph.Vertex(vl), graph.Vertex(vh)) {
+				counts[u]++
+			}
+		}
+	})
+
+	// Prefix sum, two-level: each worker scans its interval into a local
+	// running sum, the p interval totals are exclusive-scanned serially,
+	// and each worker rebases its interval — offsets stay worker-owned.
+	bases := make([]int64, p+1)
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		var sum int64
+		for v := vl; v < vh; v++ {
+			sum += counts[v]
+			counts[v] = sum
+		}
+		bases[rank+1] = sum
+	})
+	for r := 1; r <= p; r++ {
+		bases[r] += bases[r-1]
+	}
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		for v := vl; v < vh; v++ {
+			counts[v] += bases[rank]
+		}
+	})
+
+	// Pass 2: fill. idx.offsets[v] is the start of v's list and next[v]
+	// tracks the cursor; iterating samples in ascending j keeps each
+	// vertex's list sorted without a final sort pass. Workers again write
+	// only slots owned via their vertex interval.
+	idx.samples = make([]int32, idx.offsets[n])
+	next := make([]int64, n)
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		for v := vl; v < vh; v++ {
+			next[v] = idx.offsets[v]
+		}
+		for j := 0; j < col.Count(); j++ {
+			for _, u := range col.RangeOf(j, graph.Vertex(vl), graph.Vertex(vh)) {
+				idx.samples[next[u]] = int32(j)
+				next[u]++
+			}
+		}
+	})
+	return idx
+}
+
+// NumVertices returns the vertex-universe size the index was built over.
+func (x *Index) NumVertices() int { return len(x.offsets) - 1 }
+
+// SamplesOf returns the ascending ids of the samples containing v
+// (aliasing internal storage; do not modify).
+func (x *Index) SamplesOf(v graph.Vertex) []int32 {
+	return x.samples[x.offsets[v]:x.offsets[v+1]]
+}
+
+// Degree returns the incidence count of v without materializing the slice.
+func (x *Index) Degree(v graph.Vertex) int64 {
+	return x.offsets[v+1] - x.offsets[v]
+}
+
+// Bytes returns the index footprint — the transient cost of indexed seed
+// selection, reported as rrr/index-bytes alongside the store's Bytes.
+func (x *Index) Bytes() int64 {
+	return int64(len(x.samples))*4 + int64(len(x.offsets))*8
+}
+
+// Bitset is a bit-packed boolean vector over sample ids, replacing the
+// byte-per-sample covered slices of seed selection (8x smaller, so the
+// covered set of a multi-million-sample run stays cache-resident).
+type Bitset []uint64
+
+// NewBitset returns an all-false bitset of n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }

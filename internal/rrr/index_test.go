@@ -1,0 +1,153 @@
+package rrr
+
+import (
+	"slices"
+	"testing"
+
+	"influmax/internal/graph"
+	"influmax/internal/rng"
+)
+
+// randomCollection builds a Collection (and the same sets) of count random
+// sorted samples over n vertices.
+func randomCollection(seed uint64, n, count int, density float64) (*Collection, [][]graph.Vertex) {
+	r := rng.New(rng.NewLCG(seed))
+	col := NewCollection(n)
+	sets := make([][]graph.Vertex, count)
+	for j := range sets {
+		for v := 0; v < n; v++ {
+			if r.Float64() < density {
+				sets[j] = append(sets[j], graph.Vertex(v))
+			}
+		}
+		col.Append(sets[j])
+	}
+	return col, sets
+}
+
+// TestIndexMatchesHypergraph checks the parallel build against the
+// incrementally maintained incidence of Hypergraph, vertex by vertex.
+func TestIndexMatchesHypergraph(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		col, sets := randomCollection(uint64(p)*7+1, 40, 120, 0.12)
+		hyper := NewHypergraph(40)
+		for _, s := range sets {
+			hyper.Append(s)
+		}
+		idx := BuildIndex(col, p)
+		for v := 0; v < 40; v++ {
+			want := hyper.SamplesOf(graph.Vertex(v))
+			got := idx.SamplesOf(graph.Vertex(v))
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("p=%d v=%d: index %v != hypergraph %v", p, v, got, want)
+			}
+			if idx.Degree(graph.Vertex(v)) != int64(len(want)) {
+				t.Fatalf("p=%d v=%d: degree %d != %d", p, v, idx.Degree(graph.Vertex(v)), len(want))
+			}
+		}
+	}
+}
+
+// TestIndexDeterministicAcrossWorkers pins the exact arrays: the build must
+// be a pure function of the collection, independent of the worker count.
+func TestIndexDeterministicAcrossWorkers(t *testing.T) {
+	col, _ := randomCollection(3, 64, 300, 0.08)
+	ref := BuildIndex(col, 1)
+	for _, p := range []int{2, 4, 7, 16, 100} {
+		idx := BuildIndex(col, p)
+		if !slices.Equal(idx.offsets, ref.offsets) || !slices.Equal(idx.samples, ref.samples) {
+			t.Fatalf("p=%d: index differs from p=1 build", p)
+		}
+	}
+}
+
+// TestIndexSortedPerVertex verifies each incidence list ascends (the
+// property the ascending-j fill pass guarantees without a sort).
+func TestIndexSortedPerVertex(t *testing.T) {
+	col, _ := randomCollection(9, 30, 200, 0.2)
+	idx := BuildIndex(col, 4)
+	for v := 0; v < 30; v++ {
+		inc := idx.SamplesOf(graph.Vertex(v))
+		if !slices.IsSorted(inc) {
+			t.Fatalf("v=%d incidence not ascending: %v", v, inc)
+		}
+	}
+}
+
+// TestIndexEdgeCases covers the par.Interval boundary shapes: more workers
+// than vertices, a single vertex, an empty collection, and a zero-vertex
+// universe.
+func TestIndexEdgeCases(t *testing.T) {
+	// n < p: 3 vertices, 16 workers.
+	col := NewCollection(3)
+	col.Append([]graph.Vertex{0, 2})
+	col.Append([]graph.Vertex{1})
+	col.Append([]graph.Vertex{0, 1, 2})
+	idx := BuildIndex(col, 16)
+	if !slices.Equal(idx.SamplesOf(0), []int32{0, 2}) ||
+		!slices.Equal(idx.SamplesOf(1), []int32{1, 2}) ||
+		!slices.Equal(idx.SamplesOf(2), []int32{0, 2}) {
+		t.Fatalf("n<p incidence wrong: %v %v %v",
+			idx.SamplesOf(0), idx.SamplesOf(1), idx.SamplesOf(2))
+	}
+
+	// Empty collection over a nonzero universe.
+	empty := BuildIndex(NewCollection(5), 4)
+	if empty.NumVertices() != 5 || len(empty.SamplesOf(4)) != 0 {
+		t.Fatal("empty collection index not empty")
+	}
+
+	// n == 0 universe.
+	zero := BuildIndex(NewCollection(0), 4)
+	if zero.NumVertices() != 0 || zero.Bytes() <= 0 {
+		t.Fatalf("n=0 index malformed: n=%d bytes=%d", zero.NumVertices(), zero.Bytes())
+	}
+
+	// Single vertex, many workers.
+	one := NewCollection(1)
+	one.Append([]graph.Vertex{0})
+	oneIdx := BuildIndex(one, 8)
+	if !slices.Equal(oneIdx.SamplesOf(0), []int32{0}) {
+		t.Fatalf("single-vertex incidence: %v", oneIdx.SamplesOf(0))
+	}
+}
+
+// TestIndexBytes checks the accounting: 4 bytes per association plus the
+// offsets array, i.e. half a Hypergraph's incidence overhead structure-for-
+// structure (no per-vertex slice headers).
+func TestIndexBytes(t *testing.T) {
+	col, _ := randomCollection(11, 20, 50, 0.15)
+	idx := BuildIndex(col, 2)
+	want := col.TotalSize()*4 + int64(21)*8
+	if idx.Bytes() != want {
+		t.Fatalf("Bytes() = %d, want %d", idx.Bytes(), want)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	if len(b) != 3 {
+		t.Fatalf("130 bits packed into %d words, want 3", len(b))
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	// Neighbors unaffected.
+	for _, i := range []int{2, 62, 66, 127} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set spuriously", i)
+		}
+	}
+	if len(NewBitset(0)) != 0 {
+		t.Fatal("0-bit bitset not empty")
+	}
+}

@@ -18,6 +18,12 @@ const (
 	Estimation Phase = iota
 	// Sampling is the direct call to Algorithm 3 from the skeleton.
 	Sampling
+	// IndexBuild is the construction of the inverted vertex->samples
+	// incidence index over the finished collection, the lookup structure
+	// the final SelectSeeds purges through. (Index builds inside the
+	// estimation loop are accounted to Estimation, like the Sample calls
+	// made there.)
+	IndexBuild
 	// SelectSeeds is the final Algorithm 4 invocation.
 	SelectSeeds
 	// Other is everything else (setup, allocation, accounting).
@@ -32,6 +38,7 @@ const (
 var phaseNames = [numPhases]string{
 	Estimation:  "EstimateTheta",
 	Sampling:    "Sample",
+	IndexBuild:  "BuildIndex",
 	SelectSeeds: "SelectSeeds",
 	Other:       "Other",
 }
@@ -46,7 +53,7 @@ func (p Phase) String() string {
 
 // AllPhases returns every phase in legend order.
 func AllPhases() []Phase {
-	return []Phase{Estimation, Sampling, SelectSeeds, Other}
+	return []Phase{Estimation, Sampling, IndexBuild, SelectSeeds, Other}
 }
 
 // Times records the wall-clock duration of each phase.

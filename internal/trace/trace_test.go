@@ -16,10 +16,11 @@ func TestPhaseString(t *testing.T) {
 	}{
 		{Estimation, "EstimateTheta"},
 		{Sampling, "Sample"},
+		{IndexBuild, "BuildIndex"},
 		{SelectSeeds, "SelectSeeds"},
 		{Other, "Other"},
 		{Phase(-1), "Phase(-1)"},
-		{numPhases, "Phase(4)"},
+		{numPhases, "Phase(5)"},
 		{Phase(99), "Phase(99)"},
 	}
 	for _, tt := range tests {
