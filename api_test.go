@@ -90,6 +90,56 @@ func TestPublicDistributedMatchesShared(t *testing.T) {
 	}
 }
 
+func TestPublicFaultInjection(t *testing.T) {
+	// The facade's fault-tolerance surface: parse a plan, run distributed
+	// IMM through the injector, read the counters back.
+	plan, err := influmax.ParseFaultPlan("seed=7,delay=0.1/1ms,dup=0.2,reorder=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plan.String(); s == "" {
+		t.Fatal("plan renders empty")
+	}
+	g := influmax.Generate("cit-HepTh", 0.002, 3)
+	g.AssignUniform(9)
+	ref, err := influmax.Maximize(g, influmax.Options{K: 4, Epsilon: 0.5, Model: influmax.IC, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 2
+	comms := influmax.LocalCluster(p)
+	results := make([]*influmax.DistResult, p)
+	stats := make([]influmax.CommStats, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := influmax.WithFaults(comms[rank], plan)
+			defer c.Close()
+			results[rank], errs[rank] = influmax.MaximizeDistributed(c, g, influmax.DistOptions{
+				K: 4, Epsilon: 0.5, Model: influmax.IC, Seed: 11, ThreadsPerRank: 1,
+			})
+			stats[rank] = influmax.CommStatsOf(c)
+		}(r)
+	}
+	wg.Wait()
+	var injected bool
+	for r := 0; r < p; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		if !slices.Equal(results[r].Seeds, ref.Seeds) {
+			t.Fatalf("rank %d under faults: %v != %v", r, results[r].Seeds, ref.Seeds)
+		}
+		injected = injected || stats[r].Injected()
+	}
+	if !injected {
+		t.Fatal("no faults injected through the facade")
+	}
+}
+
 func TestPublicBaselinesRun(t *testing.T) {
 	g := influmax.ErdosRenyi(40, 200, 1)
 	g.AssignUniform(2)

@@ -40,6 +40,8 @@ func main() {
 		rank        = flag.Int("rank", -1, "TCP mode: this process's rank")
 		addrsStr    = flag.String("addrs", "", "TCP mode: comma-separated listen addresses, one per rank")
 		part        = flag.Bool("partitioned", false, "partition the graph across ranks too (future-work extension)")
+		netTimeout  = flag.Duration("net-timeout", 0, "per-message send/receive deadline; a peer silent past this bound surfaces as a rank failure instead of a hang (0 = wait forever)")
+		faultPlan   = flag.String("fault-plan", "", "inject deterministic transport faults for soak testing, e.g. 'seed=7,delay=0.2/5ms,drop=0.1/3,dup=0.05,reorder=0.1,kill=1@500' (see mpi.ParseFaultPlan)")
 		metricsJSON = flag.String("metrics-json", "", "write rank 0's merged RunReport (JSON, schema 1) to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -58,6 +60,15 @@ func main() {
 	model, err := influmax.ParseModel(*modelStr)
 	if err != nil {
 		fatal("%v", err)
+	}
+	plan, err := influmax.ParseFaultPlan(*faultPlan)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *netTimeout > 0 && plan.RecvTimeout == 0 {
+		// The injector's receive timeout doubles as the failure detector
+		// for the in-process transport.
+		plan.RecvTimeout = *netTimeout
 	}
 	g, err := loadGraph(*graphPath, *dataset, *scale, *seed)
 	if err != nil {
@@ -82,15 +93,22 @@ func main() {
 
 	// run executes the chosen algorithm on one communicator endpoint.
 	// Every rank goes through it (report gathering is a collective);
-	// quiet suppresses the per-rank progress line in local mode.
+	// quiet suppresses the per-rank progress line in local mode. Callers
+	// wrap the transport with the fault plan and close the wrapped comm
+	// when run returns (Close releases the injector's in-flight state).
 	run := func(c influmax.Comm, quiet bool) error {
 		if *part {
 			res, err := influmax.MaximizePartitioned(c, g, popt)
 			if err != nil {
+				if res != nil {
+					fmt.Fprintf(os.Stderr, "immdist: rank %d degraded (blames rank %d): %d samples survive locally\n",
+						c.Rank(), res.FailedRank, res.SamplesGenerated)
+				}
 				return err
 			}
 			if !quiet {
 				reportPart(c.Rank(), res)
+				reportComm(res.CommStats)
 			}
 			if *metricsJSON != "" && c.Rank() == 0 {
 				return writeReport(influmax.ReportPartitioned(popt, res))
@@ -99,10 +117,15 @@ func main() {
 		}
 		res, err := influmax.MaximizeDistributed(c, g, opt)
 		if err != nil {
+			if res != nil {
+				fmt.Fprintf(os.Stderr, "immdist: rank %d degraded (blames rank %d): %d local samples survive, %d/%d seeds selected\n",
+					c.Rank(), res.FailedRank, res.LocalSamples, len(res.Seeds), opt.K)
+			}
 			return err
 		}
 		if !quiet {
 			report(c.Rank(), res)
+			reportComm(res.CommStats)
 		}
 		if *metricsJSON != "" {
 			rep, err := influmax.ReportDistributed(c, opt, res)
@@ -130,10 +153,16 @@ func main() {
 		if *rank < 0 || *rank >= len(addrs) {
 			fatal("TCP mode needs -rank in [0, %d)", len(addrs))
 		}
-		c, err := influmax.DialTCP(*rank, addrs)
+		inner, err := influmax.DialTCPConfig(influmax.TCPConfig{
+			Rank:        *rank,
+			Addrs:       addrs,
+			SendTimeout: *netTimeout,
+			RecvTimeout: *netTimeout,
+		})
 		if err != nil {
 			fatal("%v", err)
 		}
+		c := influmax.WithFaults(inner, plan)
 		defer c.Close()
 		if err := run(c, false); err != nil {
 			fatal("rank %d: %v", *rank, err)
@@ -147,7 +176,9 @@ func main() {
 			wg.Add(1)
 			go func(rk int) {
 				defer wg.Done()
-				errs[rk] = run(comms[rk], rk != 0)
+				c := influmax.WithFaults(comms[rk], plan)
+				defer c.Close()
+				errs[rk] = run(c, rk != 0)
 			}(r)
 		}
 		wg.Wait()
@@ -190,6 +221,14 @@ func report(rank int, res *influmax.DistResult) {
 	fmt.Printf("phases: %s (total %v)\n", res.Phases.String(), res.Phases.Total())
 	fmt.Printf("estimated spread: %.1f (coverage %.4f)\n", res.EstimatedSpread, res.CoverageFraction)
 	fmt.Printf("seeds: %v\n", res.Seeds)
+}
+
+// reportComm prints rank 0's nonzero transport/fault counters; silent on
+// a clean in-process run (the local transport tracks nothing).
+func reportComm(st influmax.CommStats) {
+	if m := st.Map(); m != nil {
+		fmt.Printf("comm: %v\n", m)
+	}
 }
 
 func loadGraph(path, dataset string, scale float64, seed uint64) (*influmax.Graph, error) {

@@ -123,6 +123,42 @@ func DialTCP(rank int, addrs []string) (Comm, error) {
 	return mpi.DialTCP(mpi.TCPConfig{Rank: rank, Addrs: addrs})
 }
 
+// Fault-tolerance surface: hardened transport knobs, deterministic fault
+// injection, and the failure type collectives surface when a peer dies.
+type (
+	// TCPConfig configures the full-mesh TCP transport (deadlines,
+	// frame-size bound, dial/send retry budget).
+	TCPConfig = mpi.TCPConfig
+	// FaultPlan is a deterministic, seed-driven fault schedule for the
+	// WithFaults transport decorator.
+	FaultPlan = mpi.FaultPlan
+	// RankCrash schedules one rank's injected crash inside a FaultPlan.
+	RankCrash = mpi.RankCrash
+	// RankFailedError identifies the rank a collective blames for a
+	// failure (dead connection, injected crash, or receive timeout).
+	RankFailedError = mpi.RankFailedError
+	// CommStats counts transport retries and injected faults; it lands in
+	// RunReports under "mpi/..." counter names.
+	CommStats = mpi.CommStats
+)
+
+// DialTCPConfig joins a TCP communicator with explicit transport
+// hardening knobs (per-message deadlines, max frame size, retry budget).
+func DialTCPConfig(cfg TCPConfig) (Comm, error) { return mpi.DialTCP(cfg) }
+
+// ParseFaultPlan parses the -fault-plan flag syntax, e.g.
+// "seed=7,delay=0.2/5ms,drop=0.1/3,dup=0.05,reorder=0.1,kill=1@500".
+// An empty string yields an inactive plan.
+func ParseFaultPlan(s string) (FaultPlan, error) { return mpi.ParseFaultPlan(s) }
+
+// WithFaults decorates a communicator with deterministic fault injection
+// per plan; an inactive plan returns c unchanged.
+func WithFaults(c Comm, plan FaultPlan) Comm { return mpi.WithFaults(c, plan) }
+
+// CommStatsOf extracts transport/fault counters from a communicator, or
+// zero stats if its transport does not track any.
+func CommStatsOf(c Comm) CommStats { return mpi.StatsOf(c) }
+
 // MaximizeDistributed runs IMMdist over the communicator; all ranks must
 // call it with the same graph and options, and all receive the same seeds.
 func MaximizeDistributed(c Comm, g *Graph, opt DistOptions) (*DistResult, error) {

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -68,6 +69,13 @@ type Result struct {
 	Rank  int
 	// ThreadsPerRank is the resolved intra-rank thread count.
 	ThreadsPerRank int
+	// CommStats is this rank's transport/fault-injection counter snapshot.
+	CommStats mpi.CommStats
+	// FailedRank is the peer this rank blames for a degraded run (-1 when
+	// the run completed cleanly). When >= 0 the Result is partial: Run
+	// returned it together with a RankFailedError, and Seeds holds only
+	// the seeds selected before the failure.
+	FailedRank int
 }
 
 // state carries the per-rank machinery across phases.
@@ -101,7 +109,7 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Ranks: c.Size(), Rank: c.Rank(), ThreadsPerRank: opt.ThreadsPerRank}
+	res := &Result{Ranks: c.Size(), Rank: c.Rank(), ThreadsPerRank: opt.ThreadsPerRank, FailedRank: -1}
 	startOther := time.Now()
 	st := &state{
 		c: c, g: g, opt: opt,
@@ -124,6 +132,30 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 	}
 	tm := imm.NewAnalysis(g.NumVertices(), opt.K, opt.Epsilon, opt.L)
 	res.Phases.Add(trace.Other, time.Since(startOther))
+
+	// finish stamps the rank-local bookkeeping; it runs on the clean path
+	// and on degraded exits alike, so a partial Result still reports the
+	// shard this rank holds.
+	finish := func() {
+		res.SamplesGenerated = st.global
+		res.LocalSamples = st.col.Count()
+		res.StoreBytes = st.col.Bytes()
+		res.LocalWork = st.col.TotalSize()
+		res.CommStats = mpi.StatsOf(c)
+	}
+	// degraded converts a rank failure into a partial-result-with-error
+	// report: the surviving rank's RRR shard, counters, and any seeds
+	// already selected stay available to the caller (and to shard-merging
+	// tooling) alongside the typed error. Non-rank failures stay fatal.
+	degraded := func(err error) (*Result, error) {
+		var rf *mpi.RankFailedError
+		if !errors.As(err, &rf) {
+			return nil, err
+		}
+		res.FailedRank = rf.Rank
+		finish()
+		return res, err
+	}
 
 	// Phase 1: distributed EstimateTheta.
 	var phaseErr error
@@ -149,7 +181,7 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 		res.Theta = tm.FinalTheta(lb)
 	})
 	if phaseErr != nil {
-		return nil, phaseErr
+		return degraded(phaseErr)
 	}
 
 	// Phase 2: distributed Sample.
@@ -157,7 +189,7 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 		phaseErr = st.sampleGlobal(res.Theta - st.global)
 	})
 	if phaseErr != nil {
-		return nil, phaseErr
+		return degraded(phaseErr)
 	}
 
 	// Phase 2.5: each rank inverts its local shard of R into the
@@ -169,25 +201,20 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 	})
 	res.IndexBytes = idx.Bytes()
 
-	// Phase 3: distributed SelectSeeds.
+	// Phase 3: distributed SelectSeeds. On a rank failure the seeds
+	// selected before the collective broke are kept — the partial result.
 	res.Phases.Measure(trace.SelectSeeds, func() {
 		seeds, cov, err := st.selectSeedsIndexed(idx)
-		if err != nil {
-			phaseErr = err
-			return
-		}
 		res.Seeds = seeds
 		res.CoverageFraction = float64(cov) / float64(st.global)
 		res.EstimatedSpread = res.CoverageFraction * tm.N()
+		phaseErr = err
 	})
 	if phaseErr != nil {
-		return nil, phaseErr
+		return degraded(phaseErr)
 	}
 
-	res.SamplesGenerated = st.global
-	res.LocalSamples = st.col.Count()
-	res.StoreBytes = st.col.Bytes()
-	res.LocalWork = st.col.TotalSize()
+	finish()
 	return res, nil
 }
 
@@ -262,7 +289,8 @@ func (st *state) selectSeeds() ([]graph.Vertex, int64, error) {
 // selectSeedsIndexed is the distributed Algorithm 4: global counters via
 // AllReduce, identical local argmax on every rank, local purge by index
 // lookup over the rank's shard of R, AllReduce of the decrements. Returns
-// the seeds and the global covered count.
+// the seeds and the global covered count; on a collective failure the
+// seeds chosen so far come back alongside the error.
 func (st *state) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, error) {
 	n := st.g.NumVertices()
 	k := st.opt.K
@@ -319,7 +347,7 @@ func (st *state) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, erro
 			}
 		})
 		if err := mpi.AllReduce(st.c, dec, mpi.Sum); err != nil {
-			return nil, 0, err
+			return seeds, coveredCount, err
 		}
 		for u := range counter {
 			counter[u] -= dec[u]

@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+	"influmax/internal/metrics"
+	"influmax/internal/mpi"
+)
+
+// This file is the distributed correctness suite under injected faults:
+// IMMdist must select byte-identical seed sets through a delaying,
+// duplicating, dropping, reordering transport (the injector restores the
+// Comm contract), the same fault plan must reproduce the same schedule,
+// and a killed rank must degrade every survivor to a typed partial
+// result instead of a hang.
+
+// equivalencePlans are fault plans without kills: correctness must be
+// unaffected by them.
+var equivalencePlans = []struct {
+	name string
+	plan mpi.FaultPlan
+}{
+	{"delay", mpi.FaultPlan{Seed: 1, DelayProb: 0.2, MaxDelay: 300 * time.Microsecond}},
+	{"dup-reorder", mpi.FaultPlan{Seed: 2, DupProb: 0.2, ReorderProb: 0.2}},
+	{"drop-dup-reorder", mpi.FaultPlan{Seed: 3, DropProb: 0.2, MaxRedeliver: 2, DupProb: 0.1, ReorderProb: 0.15}},
+}
+
+// runDistPlan executes a distributed run on p ranks with every endpoint
+// wrapped in the fault plan, over the in-process transport or TCP.
+// Unlike runDist it surfaces per-rank errors instead of failing, so kill
+// plans can be asserted on.
+func runDistPlan(t *testing.T, p int, tcp bool, plan mpi.FaultPlan, g *graph.Graph, opt Options) ([]*Result, []error) {
+	t.Helper()
+	var inner []mpi.Comm
+	if tcp {
+		inner = dialTestTCP(t, p)
+	} else {
+		inner = mpi.NewLocalCluster(p)
+	}
+	results := make([]*Result, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := mpi.WithFaults(inner[rank], plan)
+			defer c.Close()
+			results[rank], errs[rank] = Run(c, g, opt)
+		}(r)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// freeTestAddrs reserves p distinct loopback ports.
+func freeTestAddrs(t *testing.T, p int) []string {
+	t.Helper()
+	addrs := make([]string, p)
+	lns := make([]net.Listener, p)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// dialTestTCP brings up a full TCP mesh on loopback.
+func dialTestTCP(t *testing.T, p int) []mpi.Comm {
+	t.Helper()
+	addrs := freeTestAddrs(t, p)
+	comms := make([]mpi.Comm, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comms[rank], errs[rank] = mpi.DialTCP(mpi.TCPConfig{Rank: rank, Addrs: addrs})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("dial rank %d: %v", r, err)
+		}
+	}
+	return comms
+}
+
+func TestDistEquivalentUnderFaultPlans(t *testing.T) {
+	// Fixed-seed graph, PerSample mode: for every plan x transport x rank
+	// count, IMMdist's seeds must be byte-identical to sequential IMM's.
+	g := testGraph(11, 90, 600)
+	opt := Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Seed: 17, ThreadsPerRank: 1}
+	ref, err := imm.Run(g, imm.Options{K: 5, Epsilon: 0.5, Model: diffuse.IC, Workers: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range equivalencePlans {
+		for _, transport := range []string{"local", "tcp"} {
+			for _, p := range []int{2, 4} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", tp.name, transport, p), func(t *testing.T) {
+					results, errs := runDistPlan(t, p, transport == "tcp", tp.plan, g, opt)
+					var injected int64
+					for r := 0; r < p; r++ {
+						if errs[r] != nil {
+							t.Fatalf("rank %d: %v", r, errs[r])
+						}
+						if !slices.Equal(results[r].Seeds, ref.Seeds) {
+							t.Fatalf("rank %d seeds %v != sequential %v", r, results[r].Seeds, ref.Seeds)
+						}
+						if results[r].Theta != ref.Theta {
+							t.Fatalf("rank %d theta %d != %d", r, results[r].Theta, ref.Theta)
+						}
+						if results[r].FailedRank != -1 {
+							t.Fatalf("rank %d reports failed rank %d on a kill-free plan", r, results[r].FailedRank)
+						}
+						st := results[r].CommStats
+						injected += st.DelaysInjected + st.DropsInjected + st.DupsInjected + st.ReordersInjected
+					}
+					if injected == 0 {
+						t.Fatal("plan injected no faults: the equivalence run proved nothing")
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestDistFaultScheduleDeterminism(t *testing.T) {
+	// The same plan seed must reproduce the same fault schedule and the
+	// same outcome: identical seeds and identical per-rank injected
+	// counters across two runs. (Retries are excluded: they depend on I/O
+	// timing, not the plan.)
+	g := testGraph(12, 80, 500)
+	opt := Options{K: 4, Epsilon: 0.5, Model: diffuse.IC, Seed: 23, ThreadsPerRank: 1}
+	plan := mpi.FaultPlan{Seed: 77, DelayProb: 0.1, MaxDelay: 200 * time.Microsecond,
+		DropProb: 0.25, DupProb: 0.25, ReorderProb: 0.25}
+	const p = 3
+	run := func() ([]*Result, []mpi.CommStats) {
+		results, errs := runDistPlan(t, p, false, plan, g, opt)
+		stats := make([]mpi.CommStats, p)
+		for r := 0; r < p; r++ {
+			if errs[r] != nil {
+				t.Fatalf("rank %d: %v", r, errs[r])
+			}
+			stats[r] = results[r].CommStats
+			stats[r].Retries = 0
+		}
+		return results, stats
+	}
+	res1, st1 := run()
+	res2, st2 := run()
+	for r := 0; r < p; r++ {
+		if !slices.Equal(res1[r].Seeds, res2[r].Seeds) {
+			t.Fatalf("rank %d: seeds differ across identical plans: %v vs %v", r, res1[r].Seeds, res2[r].Seeds)
+		}
+		if st1[r] != st2[r] {
+			t.Fatalf("rank %d: fault schedules differ across identical plans:\n  first  %+v\n  second %+v", r, st1[r], st2[r])
+		}
+	}
+	var injected bool
+	for r := 0; r < p; r++ {
+		injected = injected || st1[r].Injected()
+	}
+	if !injected {
+		t.Fatal("no faults injected; determinism not exercised")
+	}
+}
+
+func TestDistRankKillDegradesGracefully(t *testing.T) {
+	// Kill one rank mid-run: every rank (victim included) must come back
+	// with a RankFailedError and a partial Result — not a hang, not a nil.
+	g := testGraph(13, 70, 450)
+	opt := Options{K: 4, Epsilon: 0.5, Model: diffuse.IC, Seed: 31, ThreadsPerRank: 1}
+	const p, victim = 4, 1
+	plan := mpi.FaultPlan{
+		Seed:        9,
+		RecvTimeout: 300 * time.Millisecond,
+		Crashes:     []mpi.RankCrash{{Rank: victim, AfterSends: 6}},
+	}
+	start := time.Now()
+	results, errs := runDistPlan(t, p, false, plan, g, opt)
+	if el := time.Since(start); el > 60*time.Second {
+		t.Fatalf("degraded run took %v; failure detection is not bounding waits", el)
+	}
+	for r := 0; r < p; r++ {
+		var rf *mpi.RankFailedError
+		if !errors.As(errs[r], &rf) {
+			t.Fatalf("rank %d: %v, want RankFailedError", r, errs[r])
+		}
+		if results[r] == nil {
+			t.Fatalf("rank %d: nil result alongside rank failure; want partial result", r)
+		}
+		if results[r].FailedRank < 0 || results[r].FailedRank >= p {
+			t.Fatalf("rank %d: FailedRank = %d", r, results[r].FailedRank)
+		}
+	}
+	if !errors.Is(errs[victim], mpi.ErrInjectedCrash) {
+		t.Errorf("victim's error %v does not carry ErrInjectedCrash", errs[victim])
+	}
+}
+
+func TestDistReportCarriesCommStats(t *testing.T) {
+	// Fault counters must land in the merged RunReport's metrics snapshot
+	// under their "mpi/..." names.
+	g := testGraph(14, 60, 350)
+	opt := Options{K: 3, Epsilon: 0.5, Model: diffuse.IC, Seed: 41, ThreadsPerRank: 1}
+	plan := mpi.FaultPlan{Seed: 5, DupProb: 0.5, ReorderProb: 0.3}
+	const p = 2
+	inner := mpi.NewLocalCluster(p)
+	reports := make([]*metrics.RunReport, p)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := mpi.WithFaults(inner[rank], plan)
+			defer c.Close()
+			res, err := Run(c, g, opt)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			rep, err := Report(c, opt, res)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			reports[rank] = rep
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	rep := reports[0]
+	if rep == nil || rep.Metrics == nil {
+		t.Fatal("rank 0 report missing metrics snapshot")
+	}
+	if rep.Metrics.Counters["mpi/dups-injected"] == 0 {
+		t.Fatalf("merged counters %v missing mpi/dups-injected", rep.Metrics.Counters)
+	}
+	var perRank int64
+	for _, sub := range rep.PerRank {
+		perRank += sub.Comm["mpi/dups-injected"]
+	}
+	if perRank != rep.Metrics.Counters["mpi/dups-injected"] {
+		t.Fatalf("merged dups %d != per-rank sum %d", rep.Metrics.Counters["mpi/dups-injected"], perRank)
+	}
+}

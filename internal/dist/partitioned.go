@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"slices"
 	"time"
@@ -77,6 +78,12 @@ type PartResult struct {
 	Phases trace.Times
 	// Ranks is the communicator size.
 	Ranks int
+	// CommStats is this rank's transport/fault-injection counter snapshot.
+	CommStats mpi.CommStats
+	// FailedRank mirrors dist.Result: -1 on a clean run, otherwise the
+	// peer blamed for the degraded (partial) result returned with a
+	// RankFailedError.
+	FailedRank int
 }
 
 // partition is the slice of the graph a rank owns: the in-edges of its
@@ -199,7 +206,7 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 	if err := validate(iopt, g.NumVertices()); err != nil {
 		return nil, err
 	}
-	res := &PartResult{Ranks: c.Size()}
+	res := &PartResult{Ranks: c.Size(), FailedRank: -1}
 	startOther := time.Now()
 	st := &partState{
 		c:    c,
@@ -210,6 +217,24 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 	res.OwnedLo, res.OwnedHi = st.part.lo, st.part.hi
 	tm := imm.NewAnalysis(g.NumVertices(), opt.K, opt.Epsilon, opt.L)
 	res.Phases.Add(trace.Other, time.Since(startOther))
+
+	// finish / degraded mirror dist.Run: rank-local bookkeeping is stamped
+	// on clean and degraded exits alike, and a rank failure yields the
+	// partial result together with the typed error.
+	finish := func() {
+		res.SamplesGenerated = st.global
+		res.StoreBytes = st.col.Bytes()
+		res.CommStats = mpi.StatsOf(c)
+	}
+	degraded := func(err error) (*PartResult, error) {
+		var rf *mpi.RankFailedError
+		if !errors.As(err, &rf) {
+			return nil, err
+		}
+		res.FailedRank = rf.Rank
+		finish()
+		return res, err
+	}
 
 	var phaseErr error
 	res.Phases.Measure(trace.Estimation, func() {
@@ -233,14 +258,14 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 		res.Theta = tm.FinalTheta(lb)
 	})
 	if phaseErr != nil {
-		return nil, phaseErr
+		return degraded(phaseErr)
 	}
 
 	res.Phases.Measure(trace.Sampling, func() {
 		phaseErr = st.sample(res.Theta - st.global)
 	})
 	if phaseErr != nil {
-		return nil, phaseErr
+		return degraded(phaseErr)
 	}
 
 	// Each rank inverts its local shard (samples restricted to the owned
@@ -253,19 +278,15 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 
 	res.Phases.Measure(trace.SelectSeeds, func() {
 		seeds, cov, err := st.selectSeedsIndexed(idx)
-		if err != nil {
-			phaseErr = err
-			return
-		}
 		res.Seeds = seeds
 		res.CoverageFraction = float64(cov) / float64(st.global)
 		res.EstimatedSpread = res.CoverageFraction * tm.N()
+		phaseErr = err
 	})
 	if phaseErr != nil {
-		return nil, phaseErr
+		return degraded(phaseErr)
 	}
-	res.SamplesGenerated = st.global
-	res.StoreBytes = st.col.Bytes()
+	finish()
 	return res, nil
 }
 
@@ -443,7 +464,7 @@ func (st *partState) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, 
 		// Global argmax: gather all (best, arg) pairs.
 		pairs, err := mpi.AllGather(st.c, []int64{best, arg})
 		if err != nil {
-			return nil, 0, err
+			return seeds, coveredCount, err
 		}
 		gBest, gArg := int64(-1), int64(-1)
 		for _, pr := range pairs {
@@ -477,7 +498,7 @@ func (st *partState) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, 
 		}
 		matched, err = mpi.Broadcast(st.c, ownerRank, matched)
 		if err != nil {
-			return nil, 0, err
+			return seeds, coveredCount, err
 		}
 		// Everyone purges those samples from their interval's counters.
 		for _, j := range matched {

@@ -16,6 +16,7 @@ func (r *Result) RankReport() metrics.RankReport {
 		IndexBytes:   r.IndexBytes,
 		PhaseSeconds: r.Phases.Seconds(),
 		TotalSeconds: r.Phases.Total().Seconds(),
+		Comm:         r.CommStats.Map(),
 	}
 }
 
@@ -69,15 +70,32 @@ func buildReport(opt Options, root *Result, perRank []metrics.RankReport) *metri
 
 	work := make([]int64, len(perRank))
 	h := metrics.NewHistogram()
+	comm := make(map[string]int64)
 	for r, sub := range perRank {
 		rep.StoreBytes += sub.StoreBytes
 		rep.IndexBytes += sub.IndexBytes
 		work[r] = sub.LocalWork
 		h.Observe(sub.LocalWork)
+		for name, v := range sub.Comm {
+			comm[name] += v
+		}
 	}
 	rep.WorkerWork = work
 	rep.WorkBalance = metrics.WorkBalanceOf(work)
 	rep.WorkHistogram = h.Snapshot()
+	// Transport and fault-injection counters, summed across ranks, land
+	// under their "mpi/..." names in the metrics snapshot.
+	if len(comm) > 0 {
+		if rep.Metrics == nil {
+			rep.Metrics = &metrics.Snapshot{}
+		}
+		if rep.Metrics.Counters == nil {
+			rep.Metrics.Counters = make(map[string]int64)
+		}
+		for name, v := range comm {
+			rep.Metrics.Counters[name] += v
+		}
+	}
 	return rep
 }
 
@@ -99,5 +117,8 @@ func ReportPartitioned(opt PartOptions, res *PartResult) *metrics.RunReport {
 	rep.StoreBytes = res.StoreBytes
 	rep.IndexBytes = res.IndexBytes
 	rep.HeapBytes = trace.HeapAlloc()
+	if comm := res.CommStats.Map(); comm != nil {
+		rep.Metrics = &metrics.Snapshot{Counters: comm}
+	}
 	return rep
 }

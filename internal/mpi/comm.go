@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Comm is one rank's endpoint into a communicator of Size() ranks.
@@ -23,8 +24,45 @@ type Comm interface {
 	Close() error
 }
 
+// DeadlineRecver is implemented by transports whose Recv can be bounded by
+// a timeout. RecvDeadline with timeout 0 behaves like Recv; a positive
+// timeout that expires before a message arrives reports the peer as failed
+// via RankFailedError.
+type DeadlineRecver interface {
+	RecvDeadline(src, tag int, timeout time.Duration) ([]byte, error)
+}
+
 // ErrClosed is returned by operations on a closed communicator.
 var ErrClosed = errors.New("mpi: communicator closed")
+
+// ErrRecvTimeout is the cause carried by a RankFailedError when a peer
+// produced no message within the configured receive timeout.
+var ErrRecvTimeout = errors.New("mpi: receive timed out")
+
+// ErrInjectedCrash is the cause carried by a RankFailedError when the
+// fault injector crashed the rank on schedule.
+var ErrInjectedCrash = errors.New("mpi: injected crash")
+
+// RankFailedError reports that a peer rank crashed, became unreachable, or
+// failed to produce an expected message within the configured timeout. It
+// is returned from Send/Recv and propagates out of every collective built
+// on them, so a dead peer surfaces as a typed error instead of a hang.
+type RankFailedError struct {
+	// Rank is the peer this endpoint holds responsible. Different
+	// survivors of the same failure may blame different ranks (a rank that
+	// errored out of a collective stops forwarding, so its own parents see
+	// it as failed) — exactly as in MPI fault reporting.
+	Rank int
+	// Err is the underlying cause: a connection error, ErrRecvTimeout, or
+	// ErrInjectedCrash.
+	Err error
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed: %v", e.Rank, e.Err)
+}
+
+func (e *RankFailedError) Unwrap() error { return e.Err }
 
 // pairKey identifies a receive queue.
 type pairKey struct {
@@ -37,6 +75,7 @@ type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues map[pairKey][][]byte
+	dead   map[int]error // src -> failure recorded by the transport
 	closed bool
 }
 
@@ -59,8 +98,34 @@ func (m *mailbox) put(src, tag int, payload []byte) error {
 	return nil
 }
 
-// take blocks for the next message from (src, tag).
-func (m *mailbox) take(src, tag int) ([]byte, error) {
+// markDead records that no further messages from src will arrive and wakes
+// every waiter. Messages already enqueued stay deliverable; a take on an
+// empty queue from src then fails instead of blocking forever.
+func (m *mailbox) markDead(src int, err error) {
+	m.mu.Lock()
+	if m.dead == nil {
+		m.dead = make(map[int]error)
+	}
+	if m.dead[src] == nil {
+		m.dead[src] = err
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// take blocks for the next message from (src, tag). A positive timeout
+// bounds the wait; expiry reports src as failed.
+func (m *mailbox) take(src, tag int, timeout time.Duration) ([]byte, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer := time.AfterFunc(timeout, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	k := pairKey{src, tag}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -76,6 +141,12 @@ func (m *mailbox) take(src, tag int) ([]byte, error) {
 		}
 		if m.closed {
 			return nil, ErrClosed
+		}
+		if err := m.dead[src]; err != nil {
+			return nil, &RankFailedError{Rank: src, Err: err}
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return nil, &RankFailedError{Rank: src, Err: ErrRecvTimeout}
 		}
 		m.cond.Wait()
 	}

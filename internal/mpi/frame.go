@@ -1,0 +1,75 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The TCP transport's wire unit is a length-framed message:
+//
+//	tag int64 | length int64 | payload[length]
+//
+// both header fields little-endian. The reader validates the header before
+// trusting it: a negative or over-limit length is a FrameError, and the
+// payload buffer grows in bounded chunks as bytes actually arrive, so an
+// adversarial header cannot force a max-size allocation up front.
+
+// frameHeaderLen is the fixed header size (tag + length).
+const frameHeaderLen = 16
+
+// DefaultMaxFrame is the largest payload a TCP endpoint accepts unless
+// TCPConfig.MaxFrame overrides it (1 GiB).
+const DefaultMaxFrame int64 = 1 << 30
+
+// frameAllocChunk bounds how much payload buffer is grown ahead of the
+// bytes actually read.
+const frameAllocChunk = 64 << 10
+
+// FrameError reports a length-framed message whose header failed
+// validation. The receiving endpoint treats it as a protocol violation and
+// marks the sending peer dead.
+type FrameError struct {
+	Tag    int64
+	Length int64
+	Max    int64
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("mpi: invalid frame (tag %d, length %d, max %d)", e.Tag, e.Length, e.Max)
+}
+
+// appendFrame appends the wire encoding of one message to buf.
+func appendFrame(buf []byte, tag int, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(int64(tag)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(len(payload))))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame reads one message from r, accepting payloads up to maxFrame
+// bytes. It never panics on adversarial input and allocates at most
+// frameAllocChunk bytes beyond what has actually been received.
+func readFrame(r io.Reader, maxFrame int64) (tag int, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	t := int64(binary.LittleEndian.Uint64(hdr[:8]))
+	length := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	if length < 0 || length > maxFrame {
+		return 0, nil, &FrameError{Tag: t, Length: length, Max: maxFrame}
+	}
+	payload = make([]byte, 0, min(length, frameAllocChunk))
+	for remaining := length; remaining > 0; {
+		n := min(remaining, frameAllocChunk)
+		start := len(payload)
+		payload = append(payload, make([]byte, n)...)
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return 0, nil, err
+		}
+		remaining -= n
+	}
+	return int(t), payload, nil
+}

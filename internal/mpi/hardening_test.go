@@ -1,0 +1,231 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests pin the TCP transport's hardening behaviors: dial backoff
+// against a late listener, receive deadlines as a failure detector, fast
+// failure on connection teardown, and the max-frame guard.
+
+func TestTCPDialBackoffLateListener(t *testing.T) {
+	// Rank 1 starts dialing before rank 0's listener exists; the dial loop
+	// must back off and retry until it appears, and count the retries.
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	comms := make([]Comm, 2)
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		comms[1], errs[1] = DialTCP(TCPConfig{Rank: 1, Addrs: addrs, DialTimeout: 10 * time.Second})
+	}()
+	time.Sleep(300 * time.Millisecond) // let rank 1 burn through a few dial attempts
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		comms[0], errs[0] = DialTCP(TCPConfig{Rank: 0, Addrs: addrs})
+	}()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		defer comms[r].Close()
+	}
+	if retries := StatsOf(comms[1]).Retries; retries < 1 {
+		t.Fatalf("late-bound listener reached with %d dial retries, want >= 1", retries)
+	}
+	// The mesh must actually work after the delayed bring-up.
+	if err := comms[1].Send(0, 4, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := comms[0].Recv(1, 4)
+	if err != nil || string(msg) != "late" {
+		t.Fatalf("post-backoff exchange: %q, %v", msg, err)
+	}
+}
+
+func TestTCPRecvTimeoutSurfacesRankFailure(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	barrier := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			c, err := DialTCP(TCPConfig{Rank: rank, Addrs: addrs, RecvTimeout: 150 * time.Millisecond})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			if rank == 1 {
+				<-barrier // stay silent until rank 0 has timed out
+				return
+			}
+			start := time.Now()
+			_, err = c.Recv(1, 9) // nothing will ever arrive
+			close(barrier)
+			elapsed := time.Since(start)
+			var rf *RankFailedError
+			if !errors.As(err, &rf) || rf.Rank != 1 || !errors.Is(err, ErrRecvTimeout) {
+				errs[rank] = fmt.Errorf("silent peer: %v, want RankFailedError{1, ErrRecvTimeout}", err)
+				return
+			}
+			if elapsed > 5*time.Second {
+				errs[rank] = fmt.Errorf("timeout after %v, configured 150ms", elapsed)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestTCPPeerCloseFailsFast(t *testing.T) {
+	// No receive timeout configured: connection teardown alone must convert
+	// a blocked Recv into a RankFailedError, not a hang.
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	for r := 0; r < 2; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			c, err := DialTCP(TCPConfig{Rank: rank, Addrs: addrs})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			if rank == 1 {
+				c.Close() // die immediately
+				return
+			}
+			defer c.Close()
+			_, err = c.Recv(1, 2)
+			var rf *RankFailedError
+			if !errors.As(err, &rf) || rf.Rank != 1 {
+				errs[rank] = fmt.Errorf("dead peer: %v, want RankFailedError{Rank: 1}", err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestTCPMaxFrameGuard(t *testing.T) {
+	// The receiver's max-frame bound rejects an oversize frame, counts it,
+	// and marks the offending peer dead; the sender's own bound rejects
+	// oversize payloads before they reach the wire.
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	for r := 0; r < 2; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			cfg := TCPConfig{Rank: rank, Addrs: addrs}
+			if rank == 0 {
+				cfg.MaxFrame = 1024
+			}
+			c, err := DialTCP(cfg)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			if rank == 1 {
+				// Within the sender's own (default) bound, past the receiver's.
+				if err := c.Send(0, 6, make([]byte, 4096)); err != nil {
+					errs[rank] = fmt.Errorf("send: %v", err)
+				}
+				return
+			}
+			_, err = c.Recv(1, 6)
+			var rf *RankFailedError
+			if !errors.As(err, &rf) || rf.Rank != 1 {
+				errs[rank] = fmt.Errorf("oversize frame: %v, want RankFailedError{Rank: 1}", err)
+				return
+			}
+			var fe *FrameError
+			if !errors.As(err, &fe) || fe.Length != 4096 || fe.Max != 1024 {
+				errs[rank] = fmt.Errorf("cause %v, want FrameError{Length: 4096, Max: 1024}", err)
+				return
+			}
+			if n := StatsOf(c).FramesRejected; n != 1 {
+				errs[rank] = fmt.Errorf("FramesRejected = %d, want 1", n)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestTCPSendOversizeRejectedLocally(t *testing.T) {
+	runTCPClusterCfg(t, 2, TCPConfig{MaxFrame: 512}, func(c Comm) error {
+		if c.Rank() == 0 {
+			err := c.Send(1, 3, make([]byte, 513))
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				return fmt.Errorf("oversize send: %v, want FrameError", err)
+			}
+			if StatsOf(c).FramesRejected != 1 {
+				return fmt.Errorf("FramesRejected = %d, want 1", StatsOf(c).FramesRejected)
+			}
+			// The connection is still healthy for in-bound payloads.
+			return c.Send(1, 3, []byte("fits"))
+		}
+		msg, err := c.Recv(0, 3)
+		if err != nil || string(msg) != "fits" {
+			return fmt.Errorf("after local rejection: %q, %v", msg, err)
+		}
+		return nil
+	})
+}
+
+// runTCPClusterCfg is runTCPCluster with shared extra config fields.
+func runTCPClusterCfg(t *testing.T, p int, base TCPConfig, body func(c Comm) error) {
+	t.Helper()
+	addrs := freeAddrs(t, p)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Rank = rank
+			cfg.Addrs = addrs
+			c, err := DialTCP(cfg)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			errs[rank] = body(c)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("tcp rank %d: %v", r, err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // localComm is the in-process transport: all ranks share one slice of
 // mailboxes, and Send is a queue append into the destination's mailbox.
@@ -42,10 +45,17 @@ func (c *localComm) Send(dst, tag int, payload []byte) error {
 }
 
 func (c *localComm) Recv(src, tag int) ([]byte, error) {
+	return c.RecvDeadline(src, tag, 0)
+}
+
+// RecvDeadline receives with a bounded wait (0 blocks forever); expiry
+// reports src as failed, which is how an in-process crash test detects a
+// dead rank.
+func (c *localComm) RecvDeadline(src, tag int, timeout time.Duration) ([]byte, error) {
 	if err := checkPeer(c, src); err != nil {
 		return nil, err
 	}
-	return c.boxes[c.rank].take(src, tag)
+	return c.boxes[c.rank].take(src, tag, timeout)
 }
 
 func (c *localComm) Close() error {

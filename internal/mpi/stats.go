@@ -1,0 +1,97 @@
+package mpi
+
+import "sync/atomic"
+
+// CommStats is a snapshot of one endpoint's transport- and injector-level
+// event counters. The distributed runners fold them into the RunReport
+// under the "mpi/..." metric names so soak runs under a FaultPlan (or a
+// flaky network) leave an audit trail of what the substrate absorbed.
+type CommStats struct {
+	// Sends is the number of messages offered to the transport.
+	Sends int64
+	// Retries counts dial attempts and send retries after retriable I/O
+	// errors (exponential backoff sits between them).
+	Retries int64
+	// DelaysInjected, DropsInjected, DupsInjected and ReordersInjected
+	// count faults the injector scheduled (a dropped message is counted
+	// once per simulated loss; its bounded redelivery always succeeds).
+	DelaysInjected   int64
+	DropsInjected    int64
+	DupsInjected     int64
+	ReordersInjected int64
+	// FramesRejected counts length-framed messages refused by the
+	// max-frame guard (each one marks the offending peer dead).
+	FramesRejected int64
+}
+
+// Map renders the nonzero counters under their canonical metric names.
+func (s CommStats) Map() map[string]int64 {
+	m := make(map[string]int64)
+	for _, e := range []struct {
+		name string
+		v    int64
+	}{
+		{"mpi/sends", s.Sends},
+		{"mpi/retries", s.Retries},
+		{"mpi/delays-injected", s.DelaysInjected},
+		{"mpi/drops-injected", s.DropsInjected},
+		{"mpi/dups-injected", s.DupsInjected},
+		{"mpi/reorders-injected", s.ReordersInjected},
+		{"mpi/frames-rejected", s.FramesRejected},
+	} {
+		if e.v != 0 {
+			m[e.name] = e.v
+		}
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+// Injected reports whether any fault was injected.
+func (s CommStats) Injected() bool {
+	return s.DelaysInjected+s.DropsInjected+s.DupsInjected+s.ReordersInjected > 0
+}
+
+func (s CommStats) add(o CommStats) CommStats {
+	s.Sends += o.Sends
+	s.Retries += o.Retries
+	s.DelaysInjected += o.DelaysInjected
+	s.DropsInjected += o.DropsInjected
+	s.DupsInjected += o.DupsInjected
+	s.ReordersInjected += o.ReordersInjected
+	s.FramesRejected += o.FramesRejected
+	return s
+}
+
+// StatsProvider is implemented by transports that count events.
+type StatsProvider interface {
+	CommStats() CommStats
+}
+
+// StatsOf returns c's counters. Decorators include their wrapped
+// transport's counts; transports without counters report zero.
+func StatsOf(c Comm) CommStats {
+	if sp, ok := c.(StatsProvider); ok {
+		return sp.CommStats()
+	}
+	return CommStats{}
+}
+
+// statCounters is the shared lock-free accumulator behind CommStats.
+type statCounters struct {
+	sends, retries, delays, drops, dups, reorders, framesRejected atomic.Int64
+}
+
+func (s *statCounters) snapshot() CommStats {
+	return CommStats{
+		Sends:            s.sends.Load(),
+		Retries:          s.retries.Load(),
+		DelaysInjected:   s.delays.Load(),
+		DropsInjected:    s.drops.Load(),
+		DupsInjected:     s.dups.Load(),
+		ReordersInjected: s.reorders.Load(),
+		FramesRejected:   s.framesRejected.Load(),
+	}
+}

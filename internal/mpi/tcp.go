@@ -2,11 +2,14 @@ package mpi
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
+
+	"influmax/internal/rng"
 )
 
 // TCPConfig describes one rank's view of a TCP communicator.
@@ -18,21 +21,61 @@ type TCPConfig struct {
 	// DialTimeout bounds how long to wait for peers to come up
 	// (default 10s).
 	DialTimeout time.Duration
+	// SendTimeout is the per-message write deadline (0 = none). A write
+	// that times out cleanly (no bytes on the wire) is retried with
+	// backoff; a partial write marks the peer failed, since the stream is
+	// mid-frame and unrecoverable.
+	SendTimeout time.Duration
+	// RecvTimeout bounds each Recv's wait for an expected message
+	// (0 = block forever). Expiry surfaces as a RankFailedError: past this
+	// bound a silent peer is presumed dead.
+	RecvTimeout time.Duration
+	// MaxFrame is the largest accepted payload in bytes (default
+	// DefaultMaxFrame). A frame violating it is rejected and the sending
+	// peer marked dead.
+	MaxFrame int64
+	// SendRetries is how many clean write timeouts are retried before the
+	// peer is declared failed (default 3).
+	SendRetries int
 }
 
 // tcpComm is the TCP transport: a full mesh of length-framed connections.
 // Rank i accepts connections from ranks j > i and dials ranks j < i; a
 // 4-byte handshake identifies the dialer. One reader goroutine per peer
-// delivers frames into the shared mailbox.
+// delivers frames into the shared mailbox; a reader that sees a connection
+// error or an invalid frame marks its peer dead, converting every pending
+// and future Recv from that rank into a RankFailedError.
 type tcpComm struct {
-	rank  int
-	size  int
-	box   *mailbox
-	conns []net.Conn
-	wmu   []sync.Mutex // per-connection write locks
-	ln    net.Listener
+	rank        int
+	size        int
+	box         *mailbox
+	conns       []net.Conn
+	wmu         []sync.Mutex // per-connection write locks
+	ln          net.Listener
+	sendTimeout time.Duration
+	recvTimeout time.Duration
+	maxFrame    int64
+	sendRetries int
+	stats       statCounters
 
 	closeOnce sync.Once
+}
+
+// backoff returns the exponential backoff before retry attempt, with
+// deterministic jitter derived from (rank, attempt) so a thundering herd
+// of ranks re-dialing one listener spreads out.
+func backoff(rank, attempt int) time.Duration {
+	base := time.Duration(2<<min(attempt, 7)) * time.Millisecond // 4ms doubling, capped at 512ms
+	jitter := time.Duration(rng.Mix64(uint64(rank)<<32|uint64(attempt)) % uint64(base))
+	return base/2 + jitter/2
+}
+
+// retriable reports whether a send error may be retried without corrupting
+// the stream (only clean timeouts qualify; the caller also requires that
+// zero bytes were written).
+func retriable(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // DialTCP brings up this rank's endpoint and blocks until the full mesh is
@@ -49,17 +92,29 @@ func DialTCP(cfg TCPConfig) (Comm, error) {
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
+	maxFrame := cfg.MaxFrame
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	sendRetries := cfg.SendRetries
+	if sendRetries == 0 {
+		sendRetries = 3
+	}
 	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
 	if err != nil {
 		return nil, fmt.Errorf("mpi: rank %d listen: %v", cfg.Rank, err)
 	}
 	c := &tcpComm{
-		rank:  cfg.Rank,
-		size:  p,
-		box:   newMailbox(),
-		conns: make([]net.Conn, p),
-		wmu:   make([]sync.Mutex, p),
-		ln:    ln,
+		rank:        cfg.Rank,
+		size:        p,
+		box:         newMailbox(),
+		conns:       make([]net.Conn, p),
+		wmu:         make([]sync.Mutex, p),
+		ln:          ln,
+		sendTimeout: cfg.SendTimeout,
+		recvTimeout: cfg.RecvTimeout,
+		maxFrame:    maxFrame,
+		sendRetries: sendRetries,
 	}
 
 	errc := make(chan error, 2)
@@ -90,7 +145,8 @@ func DialTCP(cfg TCPConfig) (Comm, error) {
 		}
 	}()
 
-	// Dial lower ranks (with retry while their listeners come up).
+	// Dial lower ranks, backing off exponentially while their listeners
+	// come up.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -98,12 +154,13 @@ func DialTCP(cfg TCPConfig) (Comm, error) {
 		for peer := 0; peer < cfg.Rank; peer++ {
 			var conn net.Conn
 			var err error
-			for {
+			for attempt := 0; ; attempt++ {
 				conn, err = net.DialTimeout("tcp", cfg.Addrs[peer], time.Second)
 				if err == nil || time.Now().After(deadline) {
 					break
 				}
-				time.Sleep(20 * time.Millisecond)
+				c.stats.retries.Add(1)
+				time.Sleep(backoff(cfg.Rank, attempt))
 			}
 			if err != nil {
 				errc <- fmt.Errorf("mpi: rank %d dial rank %d: %v", cfg.Rank, peer, err)
@@ -138,20 +195,22 @@ func DialTCP(cfg TCPConfig) (Comm, error) {
 	return c, nil
 }
 
-// frame layout: tag int64 | length int64 | payload.
+// readLoop delivers frames from one peer into the mailbox until the
+// connection dies or a frame fails validation; either way the peer is
+// marked dead so receivers fail fast instead of hanging.
 func (c *tcpComm) readLoop(peer int, conn net.Conn) {
-	var hdr [16]byte
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return // connection closed
-		}
-		tag := int64(binary.LittleEndian.Uint64(hdr[:8]))
-		length := int64(binary.LittleEndian.Uint64(hdr[8:]))
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		tag, payload, err := readFrame(conn, c.maxFrame)
+		if err != nil {
+			var fe *FrameError
+			if errors.As(err, &fe) {
+				c.stats.framesRejected.Add(1)
+				conn.Close()
+			}
+			c.box.markDead(peer, err)
 			return
 		}
-		if err := c.box.put(peer, int(tag), payload); err != nil {
+		if err := c.box.put(peer, tag, payload); err != nil {
 			return
 		}
 	}
@@ -167,28 +226,51 @@ func (c *tcpComm) Send(dst, tag int, payload []byte) error {
 	if dst == c.rank {
 		return fmt.Errorf("mpi: rank %d sending to itself", dst)
 	}
+	if int64(len(payload)) > c.maxFrame {
+		c.stats.framesRejected.Add(1)
+		return &FrameError{Tag: int64(tag), Length: int64(len(payload)), Max: c.maxFrame}
+	}
 	conn := c.conns[dst]
 	if conn == nil {
 		return ErrClosed
 	}
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[:8], uint64(int64(tag)))
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(len(payload))))
+	c.stats.sends.Add(1)
+	buf := appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), tag, payload)
 	c.wmu[dst].Lock()
 	defer c.wmu[dst].Unlock()
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		if c.sendTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(c.sendTimeout))
+		}
+		n, err := conn.Write(buf)
+		if err == nil {
+			return nil
+		}
+		// A partial write leaves the stream mid-frame: retrying would
+		// corrupt framing, so only clean zero-byte timeouts retry.
+		if n > 0 || attempt >= c.sendRetries || !retriable(err) {
+			return &RankFailedError{Rank: dst, Err: err}
+		}
+		c.stats.retries.Add(1)
+		time.Sleep(backoff(c.rank, attempt))
 	}
-	_, err := conn.Write(payload)
-	return err
 }
 
 func (c *tcpComm) Recv(src, tag int) ([]byte, error) {
+	return c.RecvDeadline(src, tag, c.recvTimeout)
+}
+
+// RecvDeadline receives with an explicit timeout, overriding the
+// configured RecvTimeout (0 blocks forever).
+func (c *tcpComm) RecvDeadline(src, tag int, timeout time.Duration) ([]byte, error) {
 	if err := checkPeer(c, src); err != nil {
 		return nil, err
 	}
-	return c.box.take(src, tag)
+	return c.box.take(src, tag, timeout)
 }
+
+// CommStats returns this endpoint's transport counters.
+func (c *tcpComm) CommStats() CommStats { return c.stats.snapshot() }
 
 func (c *tcpComm) Close() error {
 	c.closeOnce.Do(func() {
