@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"influmax"
 )
@@ -56,6 +58,28 @@ func main() {
 		fatal("%v", err)
 	}
 
+	// With -metrics-json, a SIGINT/SIGTERM mid-run still leaves a report:
+	// the handler flushes a partial one (configuration + whatever engine
+	// counters have accumulated, Interrupted=true) before exiting. Armed
+	// before the slow phases (graph load, maximization) so a kill at any
+	// point is caught.
+	var reg *influmax.MetricsRegistry
+	var disarm func()
+	if *metricsJSON != "" {
+		reg = influmax.NewMetricsRegistry()
+		alg := "IMMmt"
+		if *baseline {
+			alg = "IMM"
+		}
+		disarm = flushOnSignal("imm", *metricsJSON, func() *influmax.RunReport {
+			rep := influmax.NewPartialReport(alg)
+			rep.Model = model.String()
+			rep.K, rep.Epsilon, rep.Seed, rep.Workers = *k, *eps, *seed, *workers
+			rep.Metrics = reg.Snapshot()
+			return rep
+		})
+	}
+
 	g, err := loadGraph(*graphPath, *binary, *dataset, *scale, *seed, *weights)
 	if err != nil {
 		fatal("%v", err)
@@ -74,7 +98,7 @@ func main() {
 		opt.RNG = influmax.LeapFrog
 	}
 	if *metricsJSON != "" {
-		opt.Metrics = influmax.NewMetricsRegistry()
+		opt.Metrics = reg
 	}
 	stopCPU := func() error { return nil }
 	if *cpuProfile != "" {
@@ -108,6 +132,7 @@ func main() {
 	}
 
 	if *metricsJSON != "" {
+		disarm() // the run finished; the complete report supersedes the partial one
 		rep := influmax.Report(res, opt)
 		rep.Graph = &influmax.GraphInfo{
 			Vertices: st.Vertices, Edges: st.Edges,
@@ -217,6 +242,24 @@ func loadGraph(path string, binary bool, dataset string, scale float64, seed uin
 		return g, nil
 	}
 	return nil, fmt.Errorf("pass -graph <file> or -dataset <name>")
+}
+
+// flushOnSignal arranges for SIGINT/SIGTERM to write partial() to path
+// and exit 130; the returned disarm stops listening once the real report
+// has been written.
+func flushOnSignal(prog, path string, partial func() *influmax.RunReport) func() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		if err := partial().WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: flushing partial report: %v\n", prog, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%s: interrupted; partial report written to %s\n", prog, path)
+		os.Exit(130)
+	}()
+	return func() { signal.Stop(sig) }
 }
 
 func fatal(format string, args ...any) {

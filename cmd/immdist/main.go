@@ -20,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 
 	"influmax"
 )
@@ -70,6 +72,29 @@ func main() {
 		// for the in-process transport.
 		plan.RecvTimeout = *netTimeout
 	}
+	// With -metrics-json, a SIGINT/SIGTERM mid-run flushes a partial
+	// RunReport (configuration only, Interrupted=true) before exiting,
+	// so a killed run still leaves an artifact. Armed before the slow
+	// phases; disarmed once the merged report is written.
+	var disarm func() = func() {}
+	if *metricsJSON != "" {
+		nranks := *ranks
+		if *addrsStr != "" {
+			nranks = len(strings.Split(*addrsStr, ","))
+		}
+		alg := "IMMdist"
+		if *part {
+			alg = "IMMpart"
+		}
+		disarm = flushOnSignal(*metricsJSON, func() *influmax.RunReport {
+			rep := influmax.NewPartialReport(alg)
+			rep.Model = model.String()
+			rep.K, rep.Epsilon, rep.Seed = *k, *eps, *seed
+			rep.Ranks, rep.ThreadsPerRank = nranks, *threads
+			return rep
+		})
+	}
+
 	g, err := loadGraph(*graphPath, *dataset, *scale, *seed)
 	if err != nil {
 		fatal("%v", err)
@@ -83,6 +108,7 @@ func main() {
 	// writeReport stamps the graph summary on rank 0's merged report and
 	// persists it.
 	writeReport := func(rep *influmax.RunReport) error {
+		disarm() // the run finished; the merged report supersedes the partial one
 		st := g.ComputeStats()
 		rep.Graph = &influmax.GraphInfo{
 			Vertices: st.Vertices, Edges: st.Edges,
@@ -244,6 +270,24 @@ func loadGraph(path, dataset string, scale float64, seed uint64) (*influmax.Grap
 	g := influmax.Generate(dataset, scale, seed)
 	g.AssignUniform(seed ^ 0x5eed)
 	return g, nil
+}
+
+// flushOnSignal arranges for SIGINT/SIGTERM to write partial() to path
+// and exit 130; the returned disarm stops listening once the real report
+// has been written.
+func flushOnSignal(path string, partial func() *influmax.RunReport) func() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		if err := partial().WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "immdist: flushing partial report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "immdist: interrupted; partial report written to %s\n", path)
+		os.Exit(130)
+	}()
+	return func() { signal.Stop(sig) }
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,172 @@
+// Command immserve serves influence-maximization queries from a resident
+// RRR sketch: it loads (or generates) a graph, prepares a sketch sized for
+// -k-max and -eps — sampling it, or warm-starting from a -snapshot written
+// by a previous run — and then answers POST /v1/seeds for any k <= k-max
+// in selection time only, no resampling.
+//
+//	immserve -dataset soc-LiveJournal -scale 0.01 -k-max 100 -eps 0.5 \
+//	    -snapshot lj.snap -addr 127.0.0.1:8080
+//
+// Endpoints: POST /v1/seeds ({"k": 10}), GET /healthz, GET /v1/metrics,
+// and /debug/pprof/ with -pprof. Saturation (past -concurrency running
+// plus -queue waiting) is answered 429 + Retry-After; SIGINT/SIGTERM
+// drains in-flight queries (bounded by -drain-timeout) before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"influmax"
+)
+
+func main() {
+	var (
+		graphPath    = flag.String("graph", "", "edge-list or binary graph file")
+		binary       = flag.Bool("bin", false, "input file is binary (graphgen -format bin)")
+		dataset      = flag.String("dataset", "", "generate a SNAP analog instead of reading a file")
+		scale        = flag.Float64("scale", 0.01, "analog scale")
+		weights      = flag.String("weights", "uniform", "weight scheme when generating: uniform, wc, const:<p>, none")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		kMax         = flag.Int("k-max", 100, "largest seed-set size the sketch serves")
+		eps          = flag.Float64("eps", 0.5, "accuracy parameter the sketch is sized for")
+		modelStr     = flag.String("model", "IC", "diffusion model: IC or LT")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		workers      = flag.Int("workers", 0, "threads for sampling and selection (0 = all cores)")
+		concurrency  = flag.Int("concurrency", 2, "queries executing at once")
+		queue        = flag.Int("queue", 16, "queries waiting for a slot before 429s start")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-query budget (queue wait + sketch build)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight queries on shutdown")
+		snapshot     = flag.String("snapshot", "", "sketch snapshot path: loaded if present, written after sampling otherwise")
+		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	)
+	flag.Parse()
+
+	model, err := influmax.ParseModel(*modelStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	g, err := loadGraph(*graphPath, *binary, *dataset, *scale, *seed, *weights)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if model == influmax.LT {
+		g.NormalizeLT()
+	}
+	st := g.ComputeStats()
+	fmt.Fprintf(os.Stderr, "immserve: graph: %d vertices, %d edges, avg degree %.2f\n",
+		st.Vertices, st.Edges, st.AvgDegree)
+
+	key := influmax.SketchKey{
+		GraphDigest: g.Digest(), Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
+	}
+	reg := influmax.NewMetricsRegistry()
+	sketch, err := prepareSketch(g, key, *snapshot, *workers, reg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	srv, err := influmax.Serve(influmax.ServeConfig{
+		Graph: g, Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
+		Workers: *workers, MaxConcurrent: *concurrency, MaxQueue: *queue,
+		QueryTimeout: *timeout, Metrics: reg, EnablePprof: *pprofOn,
+		Sketch: sketch,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "immserve: listening on http://%s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "immserve: draining")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal("drain: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "immserve: drained, bye")
+}
+
+// prepareSketch resolves the resident sketch: a valid snapshot at path
+// warm-starts the server; otherwise the sketch is sampled and — when a
+// path was given — persisted for the next start.
+func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, workers int, reg *influmax.MetricsRegistry) (*influmax.Sketch, error) {
+	if path != "" {
+		if _, err := os.Stat(path); err == nil {
+			s, err := influmax.LoadSnapshot(path, g, workers)
+			if err != nil {
+				return nil, err
+			}
+			if s.Key != key {
+				return nil, fmt.Errorf("snapshot %s was sampled with (%s), flags say (%s); delete it or match the flags",
+					path, s.Key, key)
+			}
+			fmt.Fprintf(os.Stderr, "immserve: sketch warm-started from %s (theta %d)\n", path, s.Theta)
+			return s, nil
+		}
+	}
+	start := time.Now()
+	s, err := influmax.BuildSketch(g, key, workers, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "immserve: sketch sampled in %v (theta %d)\n",
+		time.Since(start).Round(time.Millisecond), s.Theta)
+	if path != "" {
+		if err := influmax.SaveSnapshot(path, s); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "immserve: snapshot written to %s\n", path)
+	}
+	return s, nil
+}
+
+// loadGraph resolves the input source, mirroring cmd/imm.
+func loadGraph(path string, binary bool, dataset string, scale float64, seed uint64, weights string) (*influmax.Graph, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if binary {
+			return influmax.ReadBinary(f)
+		}
+		g, _, err := influmax.ParseEdgeList(f)
+		return g, err
+	case dataset != "":
+		g := influmax.Generate(dataset, scale, seed)
+		switch {
+		case weights == "uniform":
+			g.AssignUniform(seed ^ 0x5eed)
+		case weights == "wc":
+			g.AssignWeightedCascade()
+		case weights == "none":
+		default:
+			var p float64
+			if _, err := fmt.Sscanf(weights, "const:%g", &p); err != nil {
+				return nil, fmt.Errorf("bad -weights %q", weights)
+			}
+			g.AssignConstant(float32(p))
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("pass -graph <file> or -dataset <name>")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "immserve: "+format+"\n", args...)
+	os.Exit(1)
+}

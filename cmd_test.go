@@ -4,13 +4,19 @@ package influmax_test
 // into a scratch directory and driven the way a user would drive it.
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"influmax"
 )
@@ -230,6 +236,57 @@ func TestCmdImmdistMetricsJSON(t *testing.T) {
 	}
 }
 
+// interruptCmd starts the binary, SIGINTs it shortly after launch, and
+// asserts it exits 130 (the partial-report flush path).
+func interruptCmd(t *testing.T, name string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(binPath(t, name), args...)
+	var out strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	cmd.Process.Signal(syscall.SIGINT)
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("%s exit after SIGINT = %v (want code 130)\n%s", name, err, out.String())
+	}
+	if !strings.Contains(out.String(), "partial report written") {
+		t.Fatalf("%s stderr missing flush notice:\n%s", name, out.String())
+	}
+}
+
+// TestCmdIMMSignalFlush: killing imm mid-run with -metrics-json set must
+// leave a partial RunReport with Interrupted=true. The parameters make
+// the run take far longer than the signal delay (tiny eps => huge theta).
+func TestCmdIMMSignalFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "partial.json")
+	interruptCmd(t, "imm", "-dataset", "com-Orkut", "-scale", "0.02", "-k", "100",
+		"-eps", "0.08", "-metrics-json", path)
+	rep := readReport(t, path, "IMMmt")
+	if !rep.Interrupted {
+		t.Fatal("partial report not marked interrupted")
+	}
+	if rep.K != 100 || rep.Epsilon != 0.08 {
+		t.Fatalf("partial report config: %+v", rep)
+	}
+	if len(rep.Seeds) != 0 {
+		t.Fatalf("interrupted run reported seeds: %v", rep.Seeds)
+	}
+}
+
+func TestCmdImmdistSignalFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "partial.json")
+	interruptCmd(t, "immdist", "-dataset", "com-Orkut", "-scale", "0.02", "-ranks", "2",
+		"-k", "100", "-eps", "0.08", "-metrics-json", path)
+	rep := readReport(t, path, "IMMdist")
+	if !rep.Interrupted || rep.Ranks != 2 {
+		t.Fatalf("partial report: interrupted=%v ranks=%d", rep.Interrupted, rep.Ranks)
+	}
+}
+
 func TestCmdIMMProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu, mem := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
@@ -240,6 +297,174 @@ func TestCmdIMMProfiles(t *testing.T) {
 			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
 		}
 	}
+}
+
+// startImmserve launches the immserve binary, waits for its "listening
+// on" line, and returns the base URL, a live view of stderr, and a
+// stopper that SIGTERMs the process and asserts a clean drain.
+func startImmserve(t *testing.T, args ...string) (string, func() string) {
+	t.Helper()
+	cmd := exec.Command(binPath(t, "immserve"), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var logged strings.Builder
+	listening := make(chan string, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			logged.WriteString(line + "\n")
+			mu.Unlock()
+			if _, addr, ok := strings.Cut(line, "listening on http://"); ok {
+				listening <- addr
+			}
+		}
+	}()
+	stop := func() string {
+		t.Helper()
+		cmd.Process.Signal(syscall.SIGTERM)
+		// Drain stderr to EOF before Wait closes the pipe under the
+		// scanner.
+		select {
+		case <-scanDone:
+		case <-time.After(60 * time.Second):
+			t.Fatal("immserve stderr never reached EOF after SIGTERM")
+		}
+		if err := cmd.Wait(); err != nil {
+			mu.Lock()
+			defer mu.Unlock()
+			t.Fatalf("immserve exit: %v\n%s", err, logged.String())
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return logged.String()
+	}
+	select {
+	case addr := <-listening:
+		return "http://" + addr, stop
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("immserve never started listening:\n%s", logged.String())
+		return "", nil
+	}
+}
+
+// serveSeedsResp is the slice of the /v1/seeds wire shape the e2e test
+// asserts on.
+type serveSeedsResp struct {
+	K      int                 `json:"k"`
+	Seeds  []influmax.Vertex   `json:"seeds"`
+	Source string              `json:"source"`
+	Cached bool                `json:"cached"`
+	Report *influmax.RunReport `json:"report"`
+}
+
+func queryImmserve(t *testing.T, base string, k int) serveSeedsResp {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/seeds", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"k":%d}`, k)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/seeds k=%d: %d\n%s", k, resp.StatusCode, raw)
+	}
+	var sr serveSeedsResp
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("decoding %q: %v", raw, err)
+	}
+	return sr
+}
+
+// TestCmdImmserve drives the serving binary end to end twice over one
+// snapshot path: the first run samples the sketch and persists it, the
+// second warm-starts from the file and must report zero sampling time
+// while returning the same seeds.
+func TestCmdImmserve(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "sketch.snap")
+	args := []string{"-dataset", "cit-HepTh", "-scale", "0.005", "-k-max", "20",
+		"-eps", "0.5", "-addr", "127.0.0.1:0", "-snapshot", snap}
+
+	base, stop := startImmserve(t, args...)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	cold := queryImmserve(t, base, 5)
+	if len(cold.Seeds) != 5 || cold.Source != "sampled" {
+		t.Fatalf("cold query: %+v", cold)
+	}
+	if cold.Report == nil || cold.Report.PhaseSeconds["Sample"] <= 0 {
+		t.Fatalf("cold query should account sampling time: %+v", cold.Report)
+	}
+
+	mresp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapBody struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&snapBody); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if snapBody.Counters["server/queries"] != 1 {
+		t.Fatalf("metrics counters: %+v", snapBody.Counters)
+	}
+
+	logs := stop()
+	for _, want := range []string{"sketch sampled", "snapshot written", "draining", "drained, bye"} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("first run stderr missing %q:\n%s", want, logs)
+		}
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot not persisted: %v", err)
+	}
+
+	// Second run: warm start from the snapshot.
+	base, stop = startImmserve(t, args...)
+	warm := queryImmserve(t, base, 5)
+	if warm.Source != "snapshot" {
+		t.Fatalf("warm query source = %q", warm.Source)
+	}
+	for _, phase := range []string{"Sample", "EstimateTheta"} {
+		if sec := warm.Report.PhaseSeconds[phase]; sec != 0 {
+			t.Fatalf("warm start spent %v s in %s, want 0", sec, phase)
+		}
+	}
+	if fmt.Sprint(warm.Seeds) != fmt.Sprint(cold.Seeds) {
+		t.Fatalf("warm seeds %v != cold seeds %v", warm.Seeds, cold.Seeds)
+	}
+	logs = stop()
+	if !strings.Contains(logs, "warm-started") {
+		t.Fatalf("second run stderr missing warm start:\n%s", logs)
+	}
+}
+
+func TestCmdImmserveErrors(t *testing.T) {
+	runCmdExpectError(t, "immserve") // no input graph
+	runCmdExpectError(t, "immserve", "-dataset", "cit-HepTh", "-scale", "0.005", "-model", "XX")
+	runCmdExpectError(t, "immserve", "-dataset", "cit-HepTh", "-scale", "0.005", "-k-max", "0")
 }
 
 func TestCmdBiostudy(t *testing.T) {

@@ -13,6 +13,8 @@ import (
 	"influmax/internal/imm"
 	"influmax/internal/metrics"
 	"influmax/internal/mpi"
+	"influmax/internal/rrr"
+	"influmax/internal/server"
 	"influmax/internal/trace"
 )
 
@@ -305,6 +307,16 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // NewReportLog returns an empty report log.
 func NewReportLog() *ReportLog { return metrics.NewReportLog() }
 
+// NewPartialReport returns a report shell with the schema stamped and
+// Interrupted set — what a shell's signal handler flushes when a run is
+// killed mid-flight, so -metrics-json still leaves an artifact. Callers
+// fill in whatever configuration and accumulated counters they have.
+func NewPartialReport(algorithm string) *RunReport {
+	rep := metrics.NewRunReport(algorithm, trace.Times{})
+	rep.Interrupted = true
+	return rep
+}
+
 // AllPhases lists the Algorithm 1 phases in presentation order.
 func AllPhases() []Phase { return trace.AllPhases() }
 
@@ -327,6 +339,46 @@ func ReportDistributed(c Comm, opt DistOptions, res *DistResult) (*RunReport, er
 // RunReport (no gather; rank 0's report is the one to persist).
 func ReportPartitioned(opt PartOptions, res *PartResult) *RunReport {
 	return dist.ReportPartitioned(opt, res)
+}
+
+// Serving surface: the resident sketch-serving subsystem behind
+// cmd/immserve. See internal/server for the architecture.
+type (
+	// ServeConfig configures a seed-serving server (graph, sketch sizing,
+	// admission-control limits, optional preloaded snapshot).
+	ServeConfig = server.Config
+	// SeedServer is the long-running service: mount Handler, or Start a
+	// listener, and Shutdown to drain.
+	SeedServer = server.Server
+	// Sketch is an immutable query-ready RRR sample store (compressed
+	// samples + inverted incidence index) serving any k <= its KMax.
+	Sketch = server.Sketch
+	// SketchKey identifies a sketch configuration: graph digest plus the
+	// sampling parameters theta was sized for.
+	SketchKey = server.SketchKey
+	// SnapshotMeta is the identifying header of a persisted sketch.
+	SnapshotMeta = rrr.SnapshotMeta
+)
+
+// Serve validates cfg and returns a ready SeedServer (no listener yet);
+// call Start or mount Handler.
+func Serve(cfg ServeConfig) (*SeedServer, error) { return server.New(cfg) }
+
+// BuildSketch samples a query-ready sketch for key over g — the full IMM
+// estimation + sampling pipeline at K = key.KMax, compressed and indexed.
+// reg may be nil.
+func BuildSketch(g *Graph, key SketchKey, workers int, reg *MetricsRegistry) (*Sketch, error) {
+	return server.BuildSketch(g, key, workers, reg)
+}
+
+// SaveSnapshot persists a sketch at path in the versioned, checksummed
+// snapshot format (atomic rename).
+func SaveSnapshot(path string, s *Sketch) error { return s.Save(path) }
+
+// LoadSnapshot reads a sketch snapshot and validates it against g (the
+// stored graph digest must match). The warm-start path of cmd/immserve.
+func LoadSnapshot(path string, g *Graph, workers int) (*Sketch, error) {
+	return server.LoadSketch(path, g, workers, 0)
 }
 
 // StartPprofServer serves net/http/pprof endpoints on addr (e.g.

@@ -1,0 +1,37 @@
+package graph
+
+import "math"
+
+// Digest returns a stable 64-bit FNV-1a digest of the graph: vertex count,
+// out-CSR structure and edge weights. Two graphs digest equal iff they
+// have identical CSR layout and bit-identical weights, so the digest keys
+// sketch caches and validates that a persisted sketch snapshot belongs to
+// the graph a server actually loaded. It is content-addressing, not
+// cryptography: collisions are astronomically unlikely by accident but
+// constructible on purpose.
+func (g *Graph) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(g.n))
+	mix(uint64(len(g.outDst)))
+	for _, o := range g.outOff {
+		mix(uint64(o))
+	}
+	for _, d := range g.outDst {
+		mix(uint64(d))
+	}
+	for _, w := range g.outW {
+		mix(uint64(math.Float32bits(w)))
+	}
+	return h
+}

@@ -1,0 +1,49 @@
+package graph
+
+import "testing"
+
+func digestFixture() *Graph {
+	b := NewBuilder(6)
+	b.Add(0, 1, 0.5)
+	b.Add(0, 2, 0.25)
+	b.Add(2, 3, 0.125)
+	b.Add(4, 5, 1)
+	return b.Build()
+}
+
+func TestDigestStable(t *testing.T) {
+	a, b := digestFixture(), digestFixture()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical construction produced different digests")
+	}
+}
+
+func TestDigestSensitive(t *testing.T) {
+	base := digestFixture().Digest()
+
+	b := NewBuilder(6)
+	b.Add(0, 1, 0.5)
+	b.Add(0, 2, 0.25)
+	b.Add(2, 3, 0.125)
+	b.Add(4, 5, 0.75) // one weight changed
+	if b.Build().Digest() == base {
+		t.Fatal("weight change not reflected in digest")
+	}
+
+	c := NewBuilder(6)
+	c.Add(0, 1, 0.5)
+	c.Add(0, 2, 0.25)
+	c.Add(2, 3, 0.125) // one edge dropped
+	if c.Build().Digest() == base {
+		t.Fatal("edge change not reflected in digest")
+	}
+
+	d := NewBuilder(7) // extra isolated vertex
+	d.Add(0, 1, 0.5)
+	d.Add(0, 2, 0.25)
+	d.Add(2, 3, 0.125)
+	d.Add(4, 5, 1)
+	if d.Build().Digest() == base {
+		t.Fatal("vertex-count change not reflected in digest")
+	}
+}

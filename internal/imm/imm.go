@@ -51,9 +51,19 @@ type Result struct {
 // Run executes parallel IMM (Algorithm 1) over g: IMMopt when
 // opt.Workers == 1, IMMmt when opt.Workers > 1.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
+	res, _, _, err := RunCollect(g, opt)
+	return res, err
+}
+
+// RunCollect executes the same pipeline as Run but additionally returns
+// the finished sample collection and the inverted incidence index the
+// final selection used — the resident sketch a serving process keeps so
+// later queries for any k <= opt.K skip sampling entirely. The returned
+// collection and index must be treated as immutable if they are shared.
+func RunCollect(g *graph.Graph, opt Options) (*Result, *rrr.Collection, *rrr.Index, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(g.NumVertices()); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	res := &Result{Algorithm: "IMMopt", Workers: opt.Workers}
 	if opt.Workers > 1 {
@@ -116,7 +126,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	res.StoreBytes = col.Bytes()
 	res.WorkBalance = st.workBalance()
 	res.WorkerWork = append([]int64(nil), st.workerWork...)
-	return res, nil
+	return res, col, idx, nil
 }
 
 // RunBaseline executes the sequential Tang-style baseline ("IMM" in

@@ -1,6 +1,8 @@
 package imm
 
 import (
+	"sort"
+
 	"influmax/internal/graph"
 	"influmax/internal/par"
 	"influmax/internal/rrr"
@@ -98,6 +100,106 @@ func SelectSeedsIndexed(col *rrr.Collection, idx *rrr.Index, k, p int) ([]graph.
 			vl, vh := par.Interval(n, p, rank)
 			for _, j := range matched {
 				for _, u := range col.RangeOf(int(j), graph.Vertex(vl), graph.Vertex(vh)) {
+					counter[u]--
+				}
+			}
+		})
+	}
+	return seeds, coveredCount
+}
+
+// SelectSeedsSketch is SelectSeedsIndexed over a resident compressed
+// sketch: col and idx are shared, immutable state (a serving process keeps
+// one copy for all queries), and every call works exclusively on its own
+// copy-on-read state — counters seeded from the index's incidence degrees
+// (exactly the population counts CountRange would produce, without
+// touching the store) and a fresh covered bitset — so any number of
+// concurrent calls never mutate the sketch or each other. The selection
+// loop, argmax discipline and padding-seed behaviour are identical to
+// SelectSeedsIndexed, and so is the output: byte-identical seeds for the
+// same samples at any k and worker count.
+func SelectSeedsSketch(col *rrr.CompressedCollection, idx *rrr.Index, k, p int) ([]graph.Vertex, int64) {
+	n := col.NumVertices()
+	if n == 0 {
+		return nil, 0
+	}
+	if p <= 0 {
+		p = par.DefaultWorkers()
+	}
+	if p > n {
+		p = n
+	}
+	// Copy-on-read: the query-private counter vector is the index's degree
+	// column, the covered bitset starts empty.
+	counter := make([]int32, n)
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		for v := vl; v < vh; v++ {
+			counter[v] = int32(idx.Degree(graph.Vertex(v)))
+		}
+	})
+	covered := rrr.NewBitset(col.Count())
+
+	seeds := make([]graph.Vertex, 0, k)
+	chosen := make([]bool, n)
+	var coveredCount int64
+
+	bests := make([]int64, p)
+	args := make([]int, p)
+	var matched []int32
+	// Purged samples are delta-decoded once, sequentially, into a flat
+	// scratch arena; the parallel decrement pass then binary-searches each
+	// decoded sample for its vertex interval, exactly like the plain
+	// store's RangeOf.
+	var arenaVerts []graph.Vertex
+	arenaOffs := []int64{0}
+	for len(seeds) < k {
+		par.Run(p, func(rank int) {
+			vl, vh := par.Interval(n, p, rank)
+			best, arg := int64(-1), -1
+			for v := vl; v < vh; v++ {
+				if chosen[v] {
+					continue
+				}
+				if c := int64(counter[v]); c > best {
+					best, arg = c, v
+				}
+			}
+			bests[rank], args[rank] = best, arg
+		})
+		_, arg := par.ReduceMax(bests, args)
+		if arg < 0 {
+			break // every vertex chosen (k == n)
+		}
+		v := graph.Vertex(arg)
+		gain := int64(counter[v])
+		seeds = append(seeds, v)
+		chosen[arg] = true
+		coveredCount += gain
+		if gain == 0 {
+			continue // padding seed: nothing to purge
+		}
+		matched = matched[:0]
+		for _, j := range idx.SamplesOf(v) {
+			if covered.Get(int(j)) {
+				continue
+			}
+			covered.Set(int(j))
+			matched = append(matched, j)
+		}
+		arenaVerts = arenaVerts[:0]
+		arenaOffs = arenaOffs[:1]
+		for _, j := range matched {
+			arenaVerts = col.AppendSample(int(j), arenaVerts)
+			arenaOffs = append(arenaOffs, int64(len(arenaVerts)))
+		}
+		par.Run(p, func(rank int) {
+			vl, vh := par.Interval(n, p, rank)
+			for s := 0; s < len(arenaOffs)-1; s++ {
+				seg := arenaVerts[arenaOffs[s]:arenaOffs[s+1]]
+				lo := sort.Search(len(seg), func(i int) bool { return seg[i] >= graph.Vertex(vl) })
+				hi := sort.Search(len(seg), func(i int) bool { return seg[i] >= graph.Vertex(vh) })
+				for _, u := range seg[lo:hi] {
 					counter[u]--
 				}
 			}

@@ -142,3 +142,96 @@ func TestRunRecordsIndex(t *testing.T) {
 		t.Fatalf("report IndexBytes %d != %d", rep.IndexBytes, res.IndexBytes)
 	}
 }
+
+// TestSelectSeedsSketchMatchesIndexed pins the serving path: selection
+// over the compressed resident sketch (degree-seeded counters, arena
+// purge) must return byte-identical seeds and coverage to
+// SelectSeedsIndexed over the equivalent plain collection, for every
+// queried k and worker count.
+func TestSelectSeedsSketchMatchesIndexed(t *testing.T) {
+	g := testGraph(77, 200, 1600)
+	col := rrrCollection(g, 0x5e1f, 500)
+	comp := rrr.NewCompressedCollection(g.NumVertices())
+	var buf []graph.Vertex
+	for i := 0; i < col.Count(); i++ {
+		buf = append(buf[:0], col.Sample(i)...)
+		comp.Append(buf)
+	}
+	idx := rrr.BuildIndex(col, 4)
+	cidx := rrr.BuildIndexCompressed(comp, 4)
+	for _, k := range []int{1, 10, 50, 200} {
+		for _, p := range []int{1, 3, 8} {
+			wantSeeds, wantCov := SelectSeedsIndexed(col, idx, k, p)
+			gotSeeds, gotCov := SelectSeedsSketch(comp, cidx, k, p)
+			if !slices.Equal(gotSeeds, wantSeeds) || gotCov != wantCov {
+				t.Fatalf("k=%d p=%d: sketch (%v, %d) != indexed (%v, %d)",
+					k, p, gotSeeds, gotCov, wantSeeds, wantCov)
+			}
+		}
+	}
+}
+
+// TestSelectSeedsSketchConcurrentReads runs many queries over one shared
+// sketch at once: copy-on-read state must keep them independent (the -race
+// build is the real assertion here) and identical to a sequential run.
+func TestSelectSeedsSketchConcurrentReads(t *testing.T) {
+	g := testGraph(88, 120, 900)
+	col := rrrCollection(g, 0xfeed, 300)
+	comp := rrr.NewCompressedCollection(g.NumVertices())
+	var buf []graph.Vertex
+	for i := 0; i < col.Count(); i++ {
+		buf = append(buf[:0], col.Sample(i)...)
+		comp.Append(buf)
+	}
+	idx := rrr.BuildIndexCompressed(comp, 2)
+	wantSeeds, wantCov := SelectSeedsSketch(comp, idx, 25, 2)
+
+	const queries = 16
+	type out struct {
+		seeds []graph.Vertex
+		cov   int64
+	}
+	outs := make([]out, queries)
+	done := make(chan int, queries)
+	for q := 0; q < queries; q++ {
+		go func(q int) {
+			s, c := SelectSeedsSketch(comp, idx, 25, 2)
+			outs[q] = out{s, c}
+			done <- q
+		}(q)
+	}
+	for q := 0; q < queries; q++ {
+		<-done
+	}
+	for q, o := range outs {
+		if !slices.Equal(o.seeds, wantSeeds) || o.cov != wantCov {
+			t.Fatalf("query %d diverged: (%v, %d) != (%v, %d)", q, o.seeds, o.cov, wantSeeds, wantCov)
+		}
+	}
+}
+
+// TestRunCollectMatchesRun checks the sketch-building entry point returns
+// the very collection and index the run selected over: same Result, and a
+// re-selection over the returned sketch reproduces the seeds.
+func TestRunCollectMatchesRun(t *testing.T) {
+	g := testGraph(91, 90, 700)
+	opt := Options{K: 8, Epsilon: 0.5, Model: diffuse.IC, Workers: 2, Seed: 5}
+	want, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, col, idx, err := RunCollect(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got.Seeds, want.Seeds) || got.Theta != want.Theta {
+		t.Fatalf("RunCollect result diverged from Run: %v vs %v", got.Seeds, want.Seeds)
+	}
+	if col.Count() != got.SamplesGenerated {
+		t.Fatalf("returned collection has %d samples, result says %d", col.Count(), got.SamplesGenerated)
+	}
+	reSeeds, _ := SelectSeedsIndexed(col, idx, opt.K, 2)
+	if !slices.Equal(reSeeds, want.Seeds) {
+		t.Fatalf("re-selection over returned sketch gave %v, want %v", reSeeds, want.Seeds)
+	}
+}

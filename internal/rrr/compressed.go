@@ -60,7 +60,14 @@ func (c *CompressedCollection) Append(set []graph.Vertex) {
 // Sample decodes the i-th sample into buf (reused if capacious) and
 // returns it sorted ascending.
 func (c *CompressedCollection) Sample(i int, buf []graph.Vertex) []graph.Vertex {
-	buf = buf[:0]
+	return c.AppendSample(i, buf[:0])
+}
+
+// AppendSample decodes the i-th sample and appends its members, ascending,
+// to buf (which is returned). Unlike Sample it does not reset buf, so
+// several samples can be decoded into one flat arena — the scratch layout
+// sketch-serving seed selection purges through.
+func (c *CompressedCollection) AppendSample(i int, buf []graph.Vertex) []graph.Vertex {
 	data := c.data[c.offsets[i]:c.offsets[i+1]]
 	prev := uint32(0)
 	pos := 0
@@ -101,13 +108,40 @@ func (c *CompressedCollection) Contains(i int, v graph.Vertex) bool {
 	return false
 }
 
+// visitRange streams sample i and invokes visit for every member falling
+// in [vl, vh), ascending, with early exit once the running id passes vh —
+// the navigation primitive the inverted-index build uses in place of the
+// plain Collection's binary-searched RangeOf.
+func (c *CompressedCollection) visitRange(i int, vl, vh graph.Vertex, visit func(graph.Vertex)) {
+	data := c.data[c.offsets[i]:c.offsets[i+1]]
+	prev := uint32(0)
+	pos := 0
+	for j := int32(0); j < c.sizes[i]; j++ {
+		delta, n := binary.Uvarint(data[pos:])
+		pos += n
+		cur := uint32(delta)
+		if j > 0 {
+			cur = prev + 1 + uint32(delta)
+		}
+		if cur >= vh {
+			return
+		}
+		if cur >= vl {
+			visit(cur)
+		}
+		prev = cur
+	}
+}
+
 // CountAll accumulates every sample's membership into counter, skipping
-// covered samples (the compressed analog of Collection.CountRange over the
-// full vertex range).
-func (c *CompressedCollection) CountAll(counter []int32, covered []bool) {
+// samples marked in covered (the compressed analog of Collection.CountRange
+// over the full vertex range). covered uses the same bit-packed Bitset as
+// seed selection — the single covered-set representation across stores —
+// and may be nil to count everything.
+func (c *CompressedCollection) CountAll(counter []int32, covered Bitset) {
 	var buf []graph.Vertex
 	for i := 0; i < c.Count(); i++ {
-		if covered != nil && covered[i] {
+		if covered != nil && covered.Get(i) {
 			continue
 		}
 		buf = c.Sample(i, buf)

@@ -76,12 +76,15 @@ func TestCompressedCountAllMatchesPlain(t *testing.T) {
 		c.Append(set)
 		plain.Append(set)
 	}
-	covered := make([]bool, 25)
-	covered[3], covered[17] = true, true
+	covered := NewBitset(25)
+	covered.Set(3)
+	covered.Set(17)
+	coveredBool := make([]bool, 25)
+	coveredBool[3], coveredBool[17] = true, true
 	a := make([]int32, n)
 	b := make([]int32, n)
 	c.CountAll(a, covered)
-	plain.CountRange(b, covered, 0, graph.Vertex(n))
+	plain.CountRange(b, coveredBool, 0, graph.Vertex(n))
 	if !slices.Equal(a, b) {
 		t.Fatal("compressed counting disagrees with plain store")
 	}

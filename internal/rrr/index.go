@@ -29,9 +29,30 @@ type Index struct {
 // so no atomics are needed — the same ownership discipline Algorithm 4 uses
 // for its counter updates.
 func BuildIndex(col *Collection, p int) *Index {
-	n := col.NumVertices()
+	return buildIndex(col.NumVertices(), col.Count(), p,
+		func(j int, vl, vh graph.Vertex, visit func(graph.Vertex)) {
+			for _, u := range col.RangeOf(j, vl, vh) {
+				visit(u)
+			}
+		})
+}
+
+// BuildIndexCompressed constructs the inverted incidence of a compressed
+// store, byte-identical to BuildIndex over an equivalent plain Collection
+// for every worker count. Workers navigate by streaming each sample's
+// deltas with early exit past their interval instead of binary search, so
+// the build costs one extra decode pass per worker — paid once when a
+// snapshot carries samples but no index.
+func BuildIndexCompressed(col *CompressedCollection, p int) *Index {
+	return buildIndex(col.NumVertices(), col.Count(), p, col.visitRange)
+}
+
+// buildIndex is the store-agnostic core of the two-pass build: rangeOf
+// must invoke visit for every member of sample j falling in [vl, vh),
+// ascending — the only store access the scheme needs.
+func buildIndex(n, count, p int, rangeOf func(j int, vl, vh graph.Vertex, visit func(graph.Vertex))) *Index {
 	idx := &Index{offsets: make([]int64, n+1)}
-	if n == 0 || col.Count() == 0 {
+	if n == 0 || count == 0 {
 		return idx
 	}
 	if p <= 0 {
@@ -42,15 +63,15 @@ func BuildIndex(col *Collection, p int) *Index {
 	}
 
 	// Pass 1: per-vertex incidence counts. Each worker navigates to its
-	// interval within every sorted sample by binary search and increments
-	// only the counters it owns (offsets[v+1] doubles as the count slot).
+	// interval within every sorted sample and increments only the counters
+	// it owns (offsets[v+1] doubles as the count slot).
 	counts := idx.offsets[1:]
 	par.Run(p, func(rank int) {
 		vl, vh := par.Interval(n, p, rank)
-		for j := 0; j < col.Count(); j++ {
-			for _, u := range col.RangeOf(j, graph.Vertex(vl), graph.Vertex(vh)) {
+		for j := 0; j < count; j++ {
+			rangeOf(j, graph.Vertex(vl), graph.Vertex(vh), func(u graph.Vertex) {
 				counts[u]++
-			}
+			})
 		}
 	})
 
@@ -88,11 +109,11 @@ func BuildIndex(col *Collection, p int) *Index {
 		for v := vl; v < vh; v++ {
 			next[v] = idx.offsets[v]
 		}
-		for j := 0; j < col.Count(); j++ {
-			for _, u := range col.RangeOf(j, graph.Vertex(vl), graph.Vertex(vh)) {
+		for j := 0; j < count; j++ {
+			rangeOf(j, graph.Vertex(vl), graph.Vertex(vh), func(u graph.Vertex) {
 				idx.samples[next[u]] = int32(j)
 				next[u]++
-			}
+			})
 		}
 	})
 	return idx

@@ -151,3 +151,21 @@ func TestBitset(t *testing.T) {
 		t.Fatal("0-bit bitset not empty")
 	}
 }
+
+// TestBuildIndexCompressedMatchesPlain pins the store-agnostic build core:
+// indexing a compressed store yields exactly the arrays of indexing the
+// equivalent plain Collection, for every worker count.
+func TestBuildIndexCompressedMatchesPlain(t *testing.T) {
+	col, sets := randomCollection(11, 50, 160, 0.15)
+	comp := NewCompressedCollection(50)
+	for _, s := range sets {
+		comp.Append(s)
+	}
+	for _, p := range []int{1, 2, 3, 8, 64} {
+		want := BuildIndex(col, p)
+		got := BuildIndexCompressed(comp, p)
+		if !slices.Equal(got.offsets, want.offsets) || !slices.Equal(got.samples, want.samples) {
+			t.Fatalf("p=%d: compressed index differs from plain build", p)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package rrr
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+)
+
+// FuzzLoadSnapshot hammers the snapshot decoder with adversarial byte
+// streams, the same discipline as the transport's FuzzReadFrame: it must
+// never panic, never allocate past the configured bound, and whatever it
+// accepts must re-encode to exactly the bytes it consumed (the checksum
+// makes blind acceptance of mutated input practically impossible).
+func FuzzLoadSnapshot(f *testing.F) {
+	seedCase := func(seed uint64, n, count int, withIndex bool) []byte {
+		meta, col, idx := snapshotFixture(seed, n, count)
+		if !withIndex {
+			idx = nil
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, meta, col, idx); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(snapshotMagic[:])
+	valid := seedCase(5, 40, 8, true)
+	f.Add(valid)
+	f.Add(seedCase(6, 3, 1, false))
+	f.Add(valid[:len(valid)/2])                    // truncated mid-array
+	f.Add(append(slices.Clone(valid), byte(0x00))) // trailing byte
+	f.Add(bytes.Repeat([]byte{0xff}, 64))          // all-ones header claims
+	corrupt := slices.Clone(valid)
+	corrupt[len(corrupt)-2] ^= 0x01 // checksum bit flip
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxBytes = 1 << 16
+		meta, col, idx, err := ReadSnapshot(bytes.NewReader(data), maxBytes)
+		if err != nil {
+			return
+		}
+		if col.Bytes() > 4*maxBytes {
+			t.Fatalf("accepted %d-byte store past the %d bound", col.Bytes(), maxBytes)
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, meta, col, idx); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		enc := buf.Bytes()
+		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("round trip mismatch: %d-byte re-encode from %d-byte input", len(enc), len(data))
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package rrr
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"influmax/internal/graph"
+	"influmax/internal/rng"
+)
+
+// snapshotFixture builds a compressed store, its index and a meta block
+// from a seed.
+func snapshotFixture(seed uint64, n, count int) (SnapshotMeta, *CompressedCollection, *Index) {
+	r := rng.New(rng.NewLCG(seed))
+	col := NewCompressedCollection(n)
+	for i := 0; i < count; i++ {
+		col.Append(randomSortedSet(r, n, r.Float64()*0.4))
+	}
+	idx := BuildIndexCompressed(col, 3)
+	meta := SnapshotMeta{
+		GraphDigest: seed * 0x9e3779b97f4a7c15,
+		Model:       uint8(seed % 2),
+		Epsilon:     0.13,
+		KMax:        int(seed%50) + 1,
+		Seed:        seed,
+		Theta:       int64(count),
+	}
+	return meta, col, idx
+}
+
+func encodeSnapshot(t *testing.T, meta SnapshotMeta, col *CompressedCollection, idx *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, meta, col, idx); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTripByteIdentical is the property test of the format:
+// save -> load -> save is byte-identical, and the loaded store and index
+// behave exactly like the originals.
+func TestSnapshotRoundTripByteIdentical(t *testing.T) {
+	check := func(seed uint64) bool {
+		n := int(seed%300) + 2
+		meta, col, idx := snapshotFixture(seed, n, int(seed%40)+1)
+		first := encodeSnapshot(t, meta, col, idx)
+
+		gotMeta, gotCol, gotIdx, err := ReadSnapshot(bytes.NewReader(first), 0)
+		if err != nil {
+			t.Logf("seed %d: load: %v", seed, err)
+			return false
+		}
+		if gotMeta != meta {
+			t.Logf("seed %d: meta mismatch: %+v != %+v", seed, gotMeta, meta)
+			return false
+		}
+		second := encodeSnapshot(t, gotMeta, gotCol, gotIdx)
+		if !bytes.Equal(first, second) {
+			t.Logf("seed %d: re-encode differs", seed)
+			return false
+		}
+		var a, b []graph.Vertex
+		for i := 0; i < col.Count(); i++ {
+			a, b = col.Sample(i, a), gotCol.Sample(i, b)
+			if !slices.Equal(a, b) {
+				return false
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !slices.Equal(idx.SamplesOf(graph.Vertex(v)), gotIdx.SamplesOf(graph.Vertex(v))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotWithoutIndex checks the index-absent path: flag 0, nil index
+// on load, still byte-identical on re-encode.
+func TestSnapshotWithoutIndex(t *testing.T) {
+	meta, col, _ := snapshotFixture(7, 64, 12)
+	first := encodeSnapshot(t, meta, col, nil)
+	gotMeta, gotCol, gotIdx, err := ReadSnapshot(bytes.NewReader(first), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotIdx != nil {
+		t.Fatal("index materialized out of nowhere")
+	}
+	if !bytes.Equal(first, encodeSnapshot(t, gotMeta, gotCol, nil)) {
+		t.Fatal("re-encode differs")
+	}
+}
+
+// TestSnapshotRejectsCorruption flips, truncates and inflates a valid
+// snapshot and checks every mutation is rejected rather than accepted or
+// panicking.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	meta, col, idx := snapshotFixture(3, 120, 25)
+	valid := encodeSnapshot(t, meta, col, idx)
+
+	load := func(b []byte, max int64) error {
+		_, _, _, err := ReadSnapshot(bytes.NewReader(b), max)
+		return err
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := slices.Clone(valid)
+		b[0] ^= 0xff
+		var serr *SnapshotError
+		if err := load(b, 0); !errors.As(err, &serr) {
+			t.Fatalf("got %v, want SnapshotError", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := slices.Clone(valid)
+		b[8] = 0xee
+		var serr *SnapshotError
+		if err := load(b, 0); !errors.As(err, &serr) {
+			t.Fatalf("got %v, want SnapshotError", err)
+		}
+	})
+	t.Run("oversize claim", func(t *testing.T) {
+		// The vertex-count claim (first field of the store section, after
+		// magic+version+6 meta words) forced past the bound.
+		b := slices.Clone(valid)
+		off := 8 + 4 + 6*8
+		for i := 0; i < 8; i++ {
+			b[off+i] = 0xff
+		}
+		var serr *SnapshotError
+		if err := load(b, 1<<20); !errors.As(err, &serr) {
+			t.Fatalf("got %v, want SnapshotError", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{len(valid) / 3, len(valid) - 3, 11, 20} {
+			err := load(valid[:cut], 0)
+			if err == nil {
+				t.Fatalf("accepted %d-byte prefix", cut)
+			}
+			var serr *SnapshotError
+			if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) && !errors.As(err, &serr) {
+				t.Fatalf("cut %d: unexpected error %v", cut, err)
+			}
+		}
+	})
+	t.Run("payload bit flip fails checksum", func(t *testing.T) {
+		b := slices.Clone(valid)
+		b[len(b)/2] ^= 0x40
+		err := load(b, 0)
+		var serr *SnapshotError
+		if !errors.As(err, &serr) {
+			t.Fatalf("got %v, want SnapshotError", err)
+		}
+	})
+	t.Run("trailing garbage ignored", func(t *testing.T) {
+		// A reader consuming from a stream must not read past the
+		// checksum.
+		b := append(slices.Clone(valid), 0xde, 0xad)
+		if err := load(b, 0); err != nil {
+			t.Fatalf("trailing bytes broke the load: %v", err)
+		}
+	})
+}
+
+// TestSnapshotFileRoundTrip exercises the atomic file save/load pair.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	meta, col, idx := snapshotFixture(9, 80, 18)
+	path := filepath.Join(t.TempDir(), "sketch.snap")
+	if err := SaveSnapshotFile(path, meta, col, idx); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotCol, gotIdx, err := LoadSnapshotFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta || gotCol.Count() != col.Count() || gotIdx == nil {
+		t.Fatalf("round trip lost data: %+v, count %d", gotMeta, gotCol.Count())
+	}
+}

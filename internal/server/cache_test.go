@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func cacheKey(seed uint64) SketchKey {
+	return SketchKey{GraphDigest: 0xfeed, Epsilon: 0.5, KMax: 10, Seed: seed}
+}
+
+// TestCacheSingleFlight: a herd of concurrent gets for one uncached key
+// must trigger exactly one build, and everyone must receive that build's
+// sketch.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newSketchCache(4)
+	key := cacheKey(1)
+	var builds atomic.Int64
+	want := &Sketch{Key: key}
+
+	const herd = 32
+	var wg sync.WaitGroup
+	got := make([]*Sketch, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sk, _, err := c.get(context.Background(), key, func() (*Sketch, error) {
+				builds.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the herd window
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("get: %v", err)
+			}
+			got[i] = sk
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want 1", builds.Load())
+	}
+	for i, sk := range got {
+		if sk != want {
+			t.Fatalf("waiter %d got %p, want %p", i, sk, want)
+		}
+	}
+	if c.len() != 1 {
+		t.Fatalf("cache len = %d, want 1", c.len())
+	}
+}
+
+// TestCacheFailedBuildRetries: a failed build must propagate its error to
+// every waiter and then free the slot, so the next query retries instead
+// of being served a cached failure forever.
+func TestCacheFailedBuildRetries(t *testing.T) {
+	c := newSketchCache(4)
+	key := cacheKey(2)
+	boom := errors.New("sampler exploded")
+
+	_, _, err := c.get(context.Background(), key, func() (*Sketch, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("first get err = %v, want %v", err, boom)
+	}
+	if c.len() != 0 {
+		t.Fatalf("failed build left %d entries resident", c.len())
+	}
+
+	want := &Sketch{Key: key}
+	sk, hit, err := c.get(context.Background(), key, func() (*Sketch, error) { return want, nil })
+	if err != nil || sk != want {
+		t.Fatalf("retry get = (%p, %v), want (%p, nil)", sk, err, want)
+	}
+	if hit {
+		t.Fatal("retry after failure reported as cache hit")
+	}
+}
+
+// TestCacheWaiterTimeoutDetachesFromBuild: a waiter's context expiring
+// returns promptly, but the build keeps running and lands in the cache for
+// the retry.
+func TestCacheWaiterTimeoutDetachesFromBuild(t *testing.T) {
+	c := newSketchCache(4)
+	key := cacheKey(3)
+	release := make(chan struct{})
+	want := &Sketch{Key: key}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, _, err := c.get(ctx, key, func() (*Sketch, error) {
+		<-release
+		return want, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out waiter err = %v, want deadline exceeded", err)
+	}
+
+	close(release)
+	sk, hit, err := c.get(context.Background(), key, func() (*Sketch, error) {
+		t.Error("retry must not rebuild: the detached build owns the slot")
+		return nil, nil
+	})
+	if err != nil || sk != want {
+		t.Fatalf("retry = (%p, %v), want (%p, nil)", sk, err, want)
+	}
+	if !hit {
+		t.Fatal("retry should hit the detached build's slot")
+	}
+}
+
+// TestCacheEviction: over capacity the oldest finished entry goes first;
+// in-flight builds are never evicted.
+func TestCacheEviction(t *testing.T) {
+	c := newSketchCache(2)
+	for seed := uint64(0); seed < 3; seed++ {
+		c.put(&Sketch{Key: cacheKey(seed)})
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.entries[cacheKey(0)]; ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for seed := uint64(1); seed < 3; seed++ {
+		if _, ok := c.entries[cacheKey(seed)]; !ok {
+			t.Fatalf("entry %d evicted, want resident", seed)
+		}
+	}
+
+	// An in-flight build must survive even when it is the oldest.
+	c2 := newSketchCache(1)
+	release := make(chan struct{})
+	go c2.get(context.Background(), cacheKey(10), func() (*Sketch, error) {
+		<-release
+		return &Sketch{Key: cacheKey(10)}, nil
+	})
+	for c2.len() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c2.put(&Sketch{Key: cacheKey(11)})
+	c2.mu.Lock()
+	_, inflight := c2.entries[cacheKey(10)]
+	c2.mu.Unlock()
+	if !inflight {
+		t.Fatal("in-flight build was evicted")
+	}
+	close(release)
+}
+
+// TestCachePutIdempotent: put never displaces an existing entry for the
+// same key.
+func TestCachePutIdempotent(t *testing.T) {
+	c := newSketchCache(4)
+	first := &Sketch{Key: cacheKey(7)}
+	c.put(first)
+	c.put(&Sketch{Key: cacheKey(7)})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	sk, hit, err := c.get(context.Background(), cacheKey(7), func() (*Sketch, error) {
+		t.Error("get after put must not build")
+		return nil, nil
+	})
+	if err != nil || sk != first || !hit {
+		t.Fatalf("get = (%p, %v, %v), want (%p, true, nil)", sk, hit, err, first)
+	}
+}

@@ -1,0 +1,409 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/metrics"
+	"influmax/internal/par"
+)
+
+// Config configures a seed-serving Server. Graph, KMax and Epsilon are
+// required; everything else has serving-grade defaults.
+type Config struct {
+	// Graph is the loaded graph all sketches are sampled from.
+	Graph *graph.Graph
+	// Model is the default diffusion model for queries that do not name
+	// one.
+	Model diffuse.Model
+	// Epsilon is the default accuracy parameter sketches are sized for.
+	Epsilon float64
+	// KMax bounds the seed-set size a sketch serves: queries for any
+	// k <= KMax run over the same theta samples.
+	KMax int
+	// Seed is the default sampling seed.
+	Seed uint64
+	// Workers is the thread count for sampling and per-query selection
+	// (<= 0 uses all cores).
+	Workers int
+	// MaxConcurrent bounds queries executing at once (the worker pool;
+	// <= 0 defaults to 2).
+	MaxConcurrent int
+	// MaxQueue bounds queries waiting for a pool slot; one more query past
+	// MaxConcurrent+MaxQueue is answered 429 + Retry-After instead of
+	// queueing (<= 0 defaults to 16).
+	MaxQueue int
+	// QueryTimeout bounds one request's total wait: pool admission plus
+	// sketch population. A query that cannot start in time gets 503 +
+	// Retry-After while any build it triggered keeps running (<= 0
+	// defaults to 60s).
+	QueryTimeout time.Duration
+	// RetryAfter is the hint stamped on 429/503 responses (<= 0 defaults
+	// to 1s).
+	RetryAfter time.Duration
+	// MaxSketches bounds resident sketches across distinct query
+	// configurations; the oldest finished sketch is evicted past it
+	// (<= 0 defaults to 4).
+	MaxSketches int
+	// Metrics receives server and engine instrumentation; a fresh registry
+	// is created when nil (exposed either way at /v1/metrics).
+	Metrics *metrics.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Sketch, when non-nil, is a prebuilt (typically snapshot-loaded)
+	// sketch installed into the cache at startup — the warm start. Its
+	// graph digest must match Graph.
+	Sketch *Sketch
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = par.DefaultWorkers()
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxSketches <= 0 {
+		c.MaxSketches = 4
+	}
+	return c
+}
+
+// Server is the resident sketch-serving subsystem. Create one with New,
+// mount Handler on any mux or listener (or use Start), and stop it with
+// Shutdown, which drains in-flight queries.
+type Server struct {
+	cfg    Config
+	digest uint64
+	reg    *metrics.Registry
+	cache  *sketchCache
+
+	// Admission: admitted counts running+waiting queries (bounded by
+	// admitLimit); running is the worker pool.
+	admitLimit int64
+	admitted   atomic.Int64
+	running    chan struct{}
+
+	draining atomic.Bool
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+
+	mQueries, mRejected, mTimeouts, mErrors, mBuilds *metrics.Counter
+	mInflight, mSketches                             *metrics.Gauge
+	mLatency                                         *metrics.Histogram
+
+	// testQueryHook, when set, runs inside the seeds handler after pool
+	// admission — the seam load and drain tests use to hold a query in
+	// flight deterministically.
+	testQueryHook func()
+}
+
+// New validates cfg, prewarms the default sketch slot if cfg.Sketch is
+// given, and returns a ready Server (no listener yet).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Graph == nil {
+		return nil, errors.New("server: Config.Graph is required")
+	}
+	n := cfg.Graph.NumVertices()
+	if n < 2 {
+		return nil, errors.New("server: graph must have at least 2 vertices")
+	}
+	if cfg.KMax < 1 || cfg.KMax > n {
+		return nil, fmt.Errorf("server: kMax = %d, want 1 <= kMax <= %d", cfg.KMax, n)
+	}
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+		return nil, fmt.Errorf("server: epsilon = %v, want 0 < eps < 1", cfg.Epsilon)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:        cfg,
+		digest:     cfg.Graph.Digest(),
+		reg:        reg,
+		cache:      newSketchCache(cfg.MaxSketches),
+		admitLimit: int64(cfg.MaxConcurrent + cfg.MaxQueue),
+		running:    make(chan struct{}, cfg.MaxConcurrent),
+		mQueries:   reg.Counter("server/queries"),
+		mRejected:  reg.Counter("server/rejected"),
+		mTimeouts:  reg.Counter("server/timeouts"),
+		mErrors:    reg.Counter("server/errors"),
+		mBuilds:    reg.Counter("server/sketch-builds"),
+		mInflight:  reg.Gauge("server/inflight"),
+		mSketches:  reg.Gauge("server/sketches"),
+		mLatency:   reg.Histogram("server/query-us"),
+	}
+	if cfg.Sketch != nil {
+		if cfg.Sketch.Key.GraphDigest != s.digest {
+			return nil, fmt.Errorf("server: provided sketch is for graph %016x, loaded graph is %016x",
+				cfg.Sketch.Key.GraphDigest, s.digest)
+		}
+		s.cache.put(cfg.Sketch)
+		s.mSketches.Set(int64(s.cache.len()))
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/seeds", s.handleSeeds)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (for mounting under httptest
+// or an external mux/listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// DefaultKey is the sketch key of the server's configured defaults.
+func (s *Server) DefaultKey() SketchKey {
+	return SketchKey{
+		GraphDigest: s.digest,
+		Model:       s.cfg.Model,
+		Epsilon:     s.cfg.Epsilon,
+		KMax:        s.cfg.KMax,
+		Seed:        s.cfg.Seed,
+	}
+}
+
+// Prewarm synchronously populates the default sketch (sampling if no
+// snapshot was installed), so the first query does not pay the build.
+func (s *Server) Prewarm(ctx context.Context) error {
+	_, _, err := s.sketchFor(ctx, s.DefaultKey())
+	return err
+}
+
+// Start listens on addr and serves until Shutdown; it returns the bound
+// address (useful with ":0").
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go s.httpSrv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Shutdown drains the server: health flips to 503 (so load balancers stop
+// routing), no new queries are admitted, and in-flight queries run to
+// completion bounded by ctx. After a Start, the listener closes too.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv != nil {
+		return s.httpSrv.Shutdown(ctx)
+	}
+	// Handler-only mode (tests, embedding): wait for in-flight queries.
+	for s.admitted.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// seedsRequest is the POST /v1/seeds body. k is required; the rest
+// defaults to the server configuration (overriding any of them selects —
+// and, on first use, populates — a different sketch).
+type seedsRequest struct {
+	K       int      `json:"k"`
+	Epsilon *float64 `json:"epsilon,omitempty"`
+	Model   *string  `json:"model,omitempty"`
+	Seed    *uint64  `json:"seed,omitempty"`
+}
+
+// seedsResponse is the POST /v1/seeds reply.
+type seedsResponse struct {
+	K                int                `json:"k"`
+	KMax             int                `json:"kMax"`
+	Seeds            []graph.Vertex     `json:"seeds"`
+	CoverageFraction float64            `json:"coverageFraction"`
+	EstimatedSpread  float64            `json:"estimatedSpread"`
+	Theta            int64              `json:"theta"`
+	Cached           bool               `json:"cached"`
+	Source           string             `json:"source"`
+	Report           *metrics.RunReport `json:"report"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	if status >= 500 {
+		s.mErrors.Inc()
+	}
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeBackoff answers an overload/timeout condition with the Retry-After
+// hint.
+func (s *Server) writeBackoff(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// sketchFor resolves (building at most once, concurrently with other
+// keys) the sketch for key.
+func (s *Server) sketchFor(ctx context.Context, key SketchKey) (*Sketch, bool, error) {
+	sk, hit, err := s.cache.get(ctx, key, func() (*Sketch, error) {
+		s.mBuilds.Inc()
+		return BuildSketch(s.cfg.Graph, key, s.cfg.Workers, s.reg)
+	})
+	s.mSketches.Set(int64(s.cache.len()))
+	return sk, hit, err
+}
+
+// handleSeeds is the query path: admission control, sketch resolution
+// (cache + single-flight), copy-on-read indexed selection, report.
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeBackoff(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	// Admission: bounded queue depth. Everything admitted past here is
+	// counted until the handler returns, so Shutdown can drain.
+	if s.admitted.Add(1) > s.admitLimit {
+		s.admitted.Add(-1)
+		s.mRejected.Inc()
+		s.writeBackoff(w, http.StatusTooManyRequests,
+			"saturated: %d queries admitted (limit %d running + %d queued)",
+			s.admitLimit, s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+		return
+	}
+	defer s.admitted.Add(-1)
+
+	var req seedsRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	key := s.DefaultKey()
+	if req.Model != nil {
+		m, err := diffuse.ParseModel(*req.Model)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		key.Model = m
+	}
+	if req.Epsilon != nil {
+		if *req.Epsilon <= 0 || *req.Epsilon >= 1 {
+			s.writeError(w, http.StatusBadRequest, "epsilon = %v, want 0 < eps < 1", *req.Epsilon)
+			return
+		}
+		key.Epsilon = *req.Epsilon
+	}
+	if req.Seed != nil {
+		key.Seed = *req.Seed
+	}
+	if req.K < 1 || req.K > key.KMax {
+		s.writeError(w, http.StatusBadRequest, "k = %d, want 1 <= k <= kMax = %d", req.K, key.KMax)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+
+	// Worker pool: run now or wait (bounded by the timeout and by the
+	// client hanging up).
+	select {
+	case s.running <- struct{}{}:
+		defer func() { <-s.running }()
+	case <-ctx.Done():
+		s.mTimeouts.Inc()
+		s.writeBackoff(w, http.StatusServiceUnavailable, "queue wait exceeded: %v", ctx.Err())
+		return
+	}
+	s.mInflight.Add(1)
+	defer s.mInflight.Add(-1)
+	if s.testQueryHook != nil {
+		s.testQueryHook()
+	}
+
+	sk, hit, err := s.sketchFor(ctx, key)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.mTimeouts.Inc()
+		s.writeBackoff(w, http.StatusServiceUnavailable,
+			"sketch for (%s) still building: %v", key, err)
+		return
+	}
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "building sketch: %v", err)
+		return
+	}
+
+	start := time.Now()
+	seeds, covered := sk.Query(req.K, s.cfg.Workers)
+	dur := time.Since(start)
+	s.mQueries.Inc()
+	s.mLatency.Observe(dur.Microseconds())
+
+	rep := sk.report(req.K, s.cfg.Workers, dur, seeds, covered)
+	writeJSON(w, http.StatusOK, seedsResponse{
+		K:                req.K,
+		KMax:             sk.Key.KMax,
+		Seeds:            seeds,
+		CoverageFraction: rep.CoverageFraction,
+		EstimatedSpread:  rep.EstimatedSpread,
+		Theta:            sk.Theta,
+		Cached:           hit,
+		Source:           sk.Source,
+		Report:           rep,
+	})
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics exposes the registry snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if snap == nil {
+		snap = &metrics.Snapshot{}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}

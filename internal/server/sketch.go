@@ -1,0 +1,182 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+	"influmax/internal/metrics"
+	"influmax/internal/rrr"
+	"influmax/internal/trace"
+)
+
+// SketchKey identifies one sketch configuration: the graph (by content
+// digest) and the sampling parameters theta was sized for. Two queries
+// with equal keys are served from the same resident sketch.
+type SketchKey struct {
+	GraphDigest uint64
+	Model       diffuse.Model
+	Epsilon     float64
+	KMax        int
+	Seed        uint64
+}
+
+// String renders the key for logs and error messages.
+func (k SketchKey) String() string {
+	return fmt.Sprintf("graph=%016x model=%s eps=%g kmax=%d seed=%d",
+		k.GraphDigest, k.Model, k.Epsilon, k.KMax, k.Seed)
+}
+
+// Sketch is a resident, immutable, query-ready RRR sample store: the
+// compressed collection of theta samples, its inverted incidence index,
+// and the build bookkeeping that rides into per-query RunReports. All
+// fields are read-only after construction; queries operate exclusively on
+// copy-on-read state, so a single Sketch serves any number of concurrent
+// queries.
+type Sketch struct {
+	// Key identifies the configuration the sketch was sampled for.
+	Key SketchKey
+	// Col holds the theta delta+varint-compressed samples.
+	Col *rrr.CompressedCollection
+	// Idx is the CSR vertex -> sample-ids inverted incidence of Col.
+	Idx *rrr.Index
+	// Theta is the sample count Algorithm 2 settled on.
+	Theta int64
+	// LowerBound is the martingale lower bound on OPT (zero when the
+	// sketch was loaded from a snapshot, which does not persist it).
+	LowerBound float64
+	// Source records provenance: "sampled" (built in-process) or
+	// "snapshot" (loaded from disk).
+	Source string
+	// BuildPhases is the wall-clock breakdown of building the sketch
+	// (estimation, sampling, index build — all zero for a snapshot load,
+	// which is the point of having one).
+	BuildPhases trace.Times
+}
+
+// BuildSketch samples a sketch for key over g: the full estimation +
+// sampling pipeline of Algorithm 1 at K = key.KMax, transcoded into the
+// compressed store. The plain arena is dropped after transcoding; the
+// index built by the run is reused as-is (it is a pure function of the
+// samples, so it indexes the compressed store equally).
+func BuildSketch(g *graph.Graph, key SketchKey, workers int, reg *metrics.Registry) (*Sketch, error) {
+	opt := imm.Options{
+		K: key.KMax, Epsilon: key.Epsilon, Model: key.Model,
+		Workers: workers, Seed: key.Seed, Metrics: reg,
+	}
+	res, col, idx, err := imm.RunCollect(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	comp := rrr.NewCompressedCollection(col.NumVertices())
+	for i := 0; i < col.Count(); i++ {
+		comp.Append(col.Sample(i))
+	}
+	return &Sketch{
+		Key:         key,
+		Col:         comp,
+		Idx:         idx,
+		Theta:       res.Theta,
+		LowerBound:  res.LowerBound,
+		Source:      "sampled",
+		BuildPhases: res.Phases,
+	}, nil
+}
+
+// Query runs indexed greedy selection for k seeds over the sketch with p
+// workers, returning the seeds in selection order and the number of
+// samples they cover. Byte-identical to a fresh imm selection at the same
+// k over the same samples, for any worker count, and safe for any number
+// of concurrent callers.
+func (s *Sketch) Query(k, p int) ([]graph.Vertex, int64) {
+	return imm.SelectSeedsSketch(s.Col, s.Idx, k, p)
+}
+
+// Meta returns the snapshot meta block identifying this sketch.
+func (s *Sketch) Meta() rrr.SnapshotMeta {
+	return rrr.SnapshotMeta{
+		GraphDigest: s.Key.GraphDigest,
+		Model:       uint8(s.Key.Model),
+		Epsilon:     s.Key.Epsilon,
+		KMax:        s.Key.KMax,
+		Seed:        s.Key.Seed,
+		Theta:       s.Theta,
+	}
+}
+
+// Save persists the sketch (samples + index) at path in the versioned,
+// checksummed snapshot format, atomically.
+func (s *Sketch) Save(path string) error {
+	return rrr.SaveSnapshotFile(path, s.Meta(), s.Col, s.Idx)
+}
+
+// LoadSketch reads a snapshot from path and validates it against g: the
+// stored graph digest must match, so a sketch is never served against a
+// graph it was not sampled from. A snapshot written without an index gets
+// one rebuilt (workers-wide) — still orders of magnitude cheaper than
+// resampling. maxBytes <= 0 uses rrr.DefaultMaxSnapshotBytes.
+func LoadSketch(path string, g *graph.Graph, workers int, maxBytes int64) (*Sketch, error) {
+	start := time.Now()
+	meta, col, idx, err := rrr.LoadSnapshotFile(path, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	if got := g.Digest(); meta.GraphDigest != got {
+		return nil, fmt.Errorf("server: snapshot %s was sampled from graph %016x, loaded graph is %016x",
+			path, meta.GraphDigest, got)
+	}
+	if col.NumVertices() != g.NumVertices() {
+		return nil, fmt.Errorf("server: snapshot %s covers %d vertices, graph has %d",
+			path, col.NumVertices(), g.NumVertices())
+	}
+	if meta.KMax < 1 {
+		return nil, fmt.Errorf("server: snapshot %s has kMax %d", path, meta.KMax)
+	}
+	s := &Sketch{
+		Key: SketchKey{
+			GraphDigest: meta.GraphDigest,
+			Model:       diffuse.Model(meta.Model),
+			Epsilon:     meta.Epsilon,
+			KMax:        meta.KMax,
+			Seed:        meta.Seed,
+		},
+		Col:    col,
+		Idx:    idx,
+		Theta:  meta.Theta,
+		Source: "snapshot",
+	}
+	if s.Idx == nil {
+		s.Idx = rrr.BuildIndexCompressed(col, workers)
+	}
+	// The load itself is accounted to Other; estimation/sampling stay
+	// zero — the warm start the snapshot exists for.
+	s.BuildPhases.Add(trace.Other, time.Since(start))
+	return s, nil
+}
+
+// report assembles the per-query RunReport: the sketch's build breakdown
+// (zero sampling for a snapshot warm-start) plus this query's selection
+// time and outcome.
+func (s *Sketch) report(k, workers int, selectDur time.Duration, seeds []graph.Vertex, covered int64) *metrics.RunReport {
+	phases := s.BuildPhases
+	phases.Add(trace.SelectSeeds, selectDur)
+	rep := metrics.NewRunReport("IMMserve", phases)
+	rep.Model = s.Key.Model.String()
+	rep.K = k
+	rep.Epsilon = s.Key.Epsilon
+	rep.Seed = s.Key.Seed
+	rep.Workers = workers
+	rep.Theta = s.Theta
+	rep.SamplesGenerated = int64(s.Col.Count())
+	rep.LowerBound = s.LowerBound
+	rep.Seeds = seeds
+	if c := s.Col.Count(); c > 0 {
+		rep.CoverageFraction = float64(covered) / float64(c)
+	}
+	rep.EstimatedSpread = rep.CoverageFraction * float64(s.Col.NumVertices())
+	rep.StoreBytes = s.Col.Bytes()
+	rep.IndexBytes = s.Idx.Bytes()
+	return rep
+}
