@@ -31,9 +31,10 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-## bench: run every paper-figure benchmark once (long).
+## bench: run every paper-figure benchmark once (long), plus the
+## sampler's static-vs-dynamic schedule benchmark.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/imm
 
 clean:
 	$(GO) clean ./...

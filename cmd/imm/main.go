@@ -36,6 +36,7 @@ func main() {
 		weights     = flag.String("weights", "uniform", "weight scheme when generating: uniform, wc, const:<p>, none")
 		baseline    = flag.Bool("baseline", false, "run the Tang-style sequential baseline instead")
 		leapfrog    = flag.Bool("leapfrog", false, "use leap-frog RNG splitting (paper mode) instead of per-sample")
+		schedule    = flag.String("schedule", "dynamic", "sampling-loop schedule: dynamic (work-stealing) or static (paper's contiguous split)")
 		verify      = flag.Int("verify", 0, "if > 0, evaluate the seed set with this many Monte Carlo cascades")
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout (machine-readable)")
 		metricsJSON = flag.String("metrics-json", "", "write a structured RunReport (JSON, schema 1) to this file")
@@ -54,6 +55,10 @@ func main() {
 	}
 
 	model, err := influmax.ParseModel(*modelStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	sched, err := influmax.ParseSchedule(*schedule)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -93,7 +98,7 @@ func main() {
 			st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree)
 	}
 
-	opt := influmax.Options{K: *k, Epsilon: *eps, Model: model, Workers: *workers, Seed: *seed}
+	opt := influmax.Options{K: *k, Epsilon: *eps, Model: model, Workers: *workers, Seed: *seed, Schedule: sched}
 	if *leapfrog {
 		opt.RNG = influmax.LeapFrog
 	}

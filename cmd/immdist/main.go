@@ -37,6 +37,7 @@ func main() {
 		eps         = flag.Float64("eps", 0.13, "accuracy parameter")
 		modelStr    = flag.String("model", "IC", "diffusion model: IC or LT")
 		threads     = flag.Int("threads", 1, "threads per rank (hybrid model)")
+		schedule    = flag.String("schedule", "dynamic", "intra-rank sampling-loop schedule: dynamic (work-stealing) or static (paper's contiguous split)")
 		seed        = flag.Uint64("seed", 1, "random seed (must agree across ranks)")
 		ranks       = flag.Int("ranks", 4, "local mode: number of in-process ranks")
 		rank        = flag.Int("rank", -1, "TCP mode: this process's rank")
@@ -60,6 +61,10 @@ func main() {
 	}
 
 	model, err := influmax.ParseModel(*modelStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	sched, err := influmax.ParseSchedule(*schedule)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -102,8 +107,8 @@ func main() {
 	if model == influmax.LT {
 		g.NormalizeLT()
 	}
-	opt := influmax.DistOptions{K: *k, Epsilon: *eps, Model: model, ThreadsPerRank: *threads, Seed: *seed}
-	popt := influmax.PartOptions{K: *k, Epsilon: *eps, Model: model, Seed: *seed}
+	opt := influmax.DistOptions{K: *k, Epsilon: *eps, Model: model, ThreadsPerRank: *threads, Seed: *seed, Schedule: sched}
+	popt := influmax.PartOptions{K: *k, Epsilon: *eps, Model: model, Seed: *seed, Threads: *threads, Schedule: sched}
 
 	// writeReport stamps the graph summary on rank 0's merged report and
 	// persists it.

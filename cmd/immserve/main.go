@@ -38,6 +38,7 @@ func main() {
 		modelStr     = flag.String("model", "IC", "diffusion model: IC or LT")
 		seed         = flag.Uint64("seed", 1, "random seed")
 		workers      = flag.Int("workers", 0, "threads for sampling and selection (0 = all cores)")
+		schedule     = flag.String("schedule", "dynamic", "sketch-build sampling schedule: dynamic (work-stealing) or static (paper's contiguous split)")
 		concurrency  = flag.Int("concurrency", 2, "queries executing at once")
 		queue        = flag.Int("queue", 16, "queries waiting for a slot before 429s start")
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-query budget (queue wait + sketch build)")
@@ -48,6 +49,10 @@ func main() {
 	flag.Parse()
 
 	model, err := influmax.ParseModel(*modelStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	sched, err := influmax.ParseSchedule(*schedule)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -66,28 +71,32 @@ func main() {
 		GraphDigest: g.Digest(), Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
 	}
 	reg := influmax.NewMetricsRegistry()
-	sketch, err := prepareSketch(g, key, *snapshot, *workers, reg)
+	sketch, err := prepareSketch(g, key, *snapshot, *workers, sched, reg)
 	if err != nil {
 		fatal("%v", err)
 	}
 
 	srv, err := influmax.Serve(influmax.ServeConfig{
 		Graph: g, Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
-		Workers: *workers, MaxConcurrent: *concurrency, MaxQueue: *queue,
+		Workers: *workers, Schedule: sched, MaxConcurrent: *concurrency, MaxQueue: *queue,
 		QueryTimeout: *timeout, Metrics: reg, EnablePprof: *pprofOn,
 		Sketch: sketch,
 	})
 	if err != nil {
 		fatal("%v", err)
 	}
+	// Install the drain handler before announcing the address: a client
+	// that sees "listening" may immediately SIGTERM us (the e2e tests
+	// do), and an uninstalled handler means death instead of a drain.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fatal("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "immserve: listening on http://%s\n", bound)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "immserve: draining")
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -101,7 +110,7 @@ func main() {
 // prepareSketch resolves the resident sketch: a valid snapshot at path
 // warm-starts the server; otherwise the sketch is sampled and — when a
 // path was given — persisted for the next start.
-func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, workers int, reg *influmax.MetricsRegistry) (*influmax.Sketch, error) {
+func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, workers int, sched influmax.Schedule, reg *influmax.MetricsRegistry) (*influmax.Sketch, error) {
 	if path != "" {
 		if _, err := os.Stat(path); err == nil {
 			s, err := influmax.LoadSnapshot(path, g, workers)
@@ -117,7 +126,7 @@ func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, worke
 		}
 	}
 	start := time.Now()
-	s, err := influmax.BuildSketch(g, key, workers, reg)
+	s, err := influmax.BuildSketch(g, key, workers, sched, reg)
 	if err != nil {
 		return nil, err
 	}

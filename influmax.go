@@ -1,8 +1,10 @@
 package influmax
 
 import (
+	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"influmax/internal/baseline"
 	"influmax/internal/centrality"
@@ -62,6 +64,30 @@ const (
 	// paper does with TRNG.
 	LeapFrog = imm.LeapFrog
 )
+
+// Schedule selects how the sampling loop is partitioned onto workers.
+type Schedule = imm.Schedule
+
+// Sampling-loop schedules.
+const (
+	// ScheduleDynamic is chunked work-stealing with guided chunk sizing —
+	// the default. In PerSample RNG mode the output is byte-identical to
+	// the static schedule for any worker count.
+	ScheduleDynamic = imm.ScheduleDynamic
+	// ScheduleStatic is the paper's static contiguous split.
+	ScheduleStatic = imm.ScheduleStatic
+)
+
+// ParseSchedule parses "dynamic" or "static" (case-insensitive).
+func ParseSchedule(s string) (Schedule, error) {
+	switch strings.ToLower(s) {
+	case "dynamic":
+		return ScheduleDynamic, nil
+	case "static":
+		return ScheduleStatic, nil
+	}
+	return 0, fmt.Errorf("unknown schedule %q (want dynamic or static)", s)
+}
 
 // Phase identifies a section of Algorithm 1 in a Result's timing
 // breakdown (the stacked bars of the paper's figures).
@@ -366,9 +392,10 @@ func Serve(cfg ServeConfig) (*SeedServer, error) { return server.New(cfg) }
 
 // BuildSketch samples a query-ready sketch for key over g — the full IMM
 // estimation + sampling pipeline at K = key.KMax, compressed and indexed.
-// reg may be nil.
-func BuildSketch(g *Graph, key SketchKey, workers int, reg *MetricsRegistry) (*Sketch, error) {
-	return server.BuildSketch(g, key, workers, reg)
+// schedule picks the sampling-loop schedule (the sketch content does not
+// depend on it); reg may be nil.
+func BuildSketch(g *Graph, key SketchKey, workers int, schedule Schedule, reg *MetricsRegistry) (*Sketch, error) {
+	return server.BuildSketch(g, key, workers, schedule, reg)
 }
 
 // SaveSnapshot persists a sketch at path in the versioned, checksummed

@@ -69,9 +69,12 @@ func (s *Sampler) reverseBFS(r *rng.Rand, root graph.Vertex, out []graph.Vertex)
 	s.visited[root] = s.epoch
 	s.queue = append(s.queue[:0], root)
 	out = append(out, root)
-	for len(s.queue) > 0 {
-		x := s.queue[0]
-		s.queue = s.queue[1:]
+	// Pop via a head index rather than re-slicing the front: re-slicing
+	// surrenders the popped prefix's capacity, so every BFS would grow a
+	// fresh backing array. The head index keeps the array stable across
+	// samples — the pooled steady state allocates nothing here.
+	for head := 0; head < len(s.queue); head++ {
+		x := s.queue[head]
 		srcs, ws := s.g.InNeighbors(x)
 		for i, u := range srcs {
 			if s.visited[u] == s.epoch {

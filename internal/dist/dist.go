@@ -33,6 +33,10 @@ type Options struct {
 	// exact same result for any rank count; imm.LeapFrog mirrors the
 	// paper).
 	RNG imm.RNGMode
+	// Schedule selects the intra-rank sampling-loop schedule (dynamic
+	// work-stealing by default; LeapFrog forces static). Must agree across
+	// ranks, though in PerSample mode the result does not depend on it.
+	Schedule imm.Schedule
 	// L is the confidence exponent (0 means 1).
 	L float64
 }
@@ -87,8 +91,7 @@ type state struct {
 	global  int64 // samples generated across all ranks so far
 	threads int
 
-	samplers []*diffuse.Sampler
-	streams  []*rng.Rand // LeapFrog substreams (rank-major, thread-minor)
+	sampler *imm.BatchSampler // intra-rank multithreaded sampling machinery
 }
 
 // Run executes IMMdist over the communicator. Every rank must call Run
@@ -116,19 +119,23 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 		col:     rrr.NewCollection(g.NumVertices()),
 		threads: opt.ThreadsPerRank,
 	}
-	st.samplers = make([]*diffuse.Sampler, st.threads)
-	for i := range st.samplers {
-		st.samplers[i] = diffuse.NewSampler(g, opt.Model)
-	}
+	st.sampler = imm.NewBatchSampler(g, imm.Options{
+		Model: opt.Model, Workers: st.threads, Seed: opt.Seed,
+		RNG: opt.RNG, Schedule: opt.Schedule,
+	})
 	if opt.RNG == imm.LeapFrog {
 		// One global sequence split across size*threads consumers: the
-		// leap-frog stride is the total thread count of the job.
+		// leap-frog stride is the total thread count of the job, so the
+		// intra-process substreams NewBatchSampler built are replaced by
+		// this rank's slice of the job-wide split (rank-major,
+		// thread-minor). Pinned streams force the static schedule.
 		base := rng.NewLCG(opt.Seed)
 		total := c.Size() * st.threads
-		st.streams = make([]*rng.Rand, st.threads)
-		for tid := range st.streams {
-			st.streams[tid] = rng.New(base.LeapFrog(c.Rank()*st.threads+tid, total))
+		streams := make([]*rng.Rand, st.threads)
+		for tid := range streams {
+			streams[tid] = rng.New(base.LeapFrog(c.Rank()*st.threads+tid, total))
 		}
+		st.sampler.SetStreams(streams)
 	}
 	tm := imm.NewAnalysis(g.NumVertices(), opt.K, opt.Epsilon, opt.L)
 	res.Phases.Add(trace.Other, time.Since(startOther))
@@ -233,47 +240,16 @@ func validate(o imm.Options, n int) error {
 
 // sampleGlobal generates `count` samples globally: rank r generates the
 // contiguous sub-batch Interval(count, p, r), multithreaded within the
-// rank. Sample identities are the global indices st.global + i, so in
-// PerSample mode the union of all ranks' samples is independent of p.
+// rank by the shared batch sampler. Sample identities are the global
+// indices st.global + i, so in PerSample mode the union of all ranks'
+// samples is independent of p — and of the intra-rank schedule.
 func (st *state) sampleGlobal(count int64) error {
 	if count <= 0 {
 		return nil
 	}
-	n := st.g.NumVertices()
 	lo, hi := par.Interval(int(count), st.c.Size(), st.c.Rank())
-	local := hi - lo
-	if local > 0 {
-		threads := st.threads
-		if threads > local {
-			threads = local
-		}
-		arenas := make([]struct {
-			verts   []graph.Vertex
-			offsets []int64
-		}, threads)
-		par.ForEach(local, threads, func(tid, tlo, thi int) {
-			sampler := st.samplers[tid]
-			a := &arenas[tid]
-			a.offsets = []int64{0}
-			var stream *rng.Rand
-			if st.streams != nil {
-				stream = st.streams[tid]
-			}
-			for i := tlo; i < thi; i++ {
-				if st.streams == nil {
-					globalID := st.global + int64(lo) + int64(i)
-					stream = rng.New(rng.Derive(st.opt.Seed, uint64(globalID)))
-				}
-				root := graph.Vertex(stream.Intn(n))
-				a.verts = sampler.GenerateRR(stream, root, a.verts)
-				a.offsets = append(a.offsets, int64(len(a.verts)))
-			}
-		})
-		for _, a := range arenas {
-			if a.offsets != nil {
-				st.col.AppendArena(a.verts, a.offsets)
-			}
-		}
+	if local := hi - lo; local > 0 {
+		st.sampler.SampleAt(st.col, uint64(st.global+int64(lo)), local)
 	}
 	st.global += count
 	return nil

@@ -54,6 +54,14 @@ type PartOptions struct {
 	// Batch is the number of samples in flight per superstep wave
 	// (0 means 1024).
 	Batch int
+	// Threads is the intra-rank thread count for the CPU-bound pieces of a
+	// wave (member-list sorting, shard index builds); <= 0 means 1. The
+	// result does not depend on it.
+	Threads int
+	// Schedule selects how those intra-rank loops are scheduled (dynamic
+	// work-stealing by default; the per-wave sorting work is as skewed as
+	// the RRR set sizes themselves).
+	Schedule imm.Schedule
 }
 
 // PartResult reports a graph-partitioned run.
@@ -202,6 +210,9 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 	if opt.Batch <= 0 {
 		opt.Batch = 1024
 	}
+	if opt.Threads <= 0 {
+		opt.Threads = 1
+	}
 	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1}
 	if err := validate(iopt, g.NumVertices()); err != nil {
 		return nil, err
@@ -272,7 +283,7 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 	// vertex interval) so the seed owner's purge enumeration is a lookup.
 	var idx *rrr.Index
 	res.Phases.Measure(trace.IndexBuild, func() {
-		idx = rrr.BuildIndex(st.col, 1)
+		idx = rrr.BuildIndex(st.col, opt.Threads)
 	})
 	res.IndexBytes = idx.Bytes()
 
@@ -404,9 +415,22 @@ func (st *partState) sampleWave(batch int) error {
 		}
 		frontier = next
 	}
-	// Commit the wave: every rank appends the batch in sample order.
+	// Commit the wave: every rank appends the batch in sample order. The
+	// member-list sorts are the wave's residual CPU-bound work and are as
+	// skewed as the sample sizes, so they run under the configured
+	// schedule; the appends stay sequential in sample order (the layout
+	// contract that keeps shards identical across rank counts).
+	sortRange := func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			slices.Sort(members[s])
+		}
+	}
+	if st.opt.Schedule == imm.ScheduleDynamic {
+		par.Dynamic(batch, st.opt.Threads, 16, sortRange)
+	} else {
+		par.ForEach(batch, st.opt.Threads, sortRange)
+	}
 	for s := 0; s < batch; s++ {
-		slices.Sort(members[s])
 		st.col.Append(members[s])
 	}
 	st.global += int64(batch)
@@ -432,7 +456,7 @@ func (st *partState) route(next *[]pair, outgoing [][]pair, visited func(int, gr
 // (the estimation-loop entry point; RunPartitioned times the final build
 // separately via trace.IndexBuild).
 func (st *partState) selectSeeds() ([]graph.Vertex, int64, error) {
-	return st.selectSeedsIndexed(rrr.BuildIndex(st.col, 1))
+	return st.selectSeedsIndexed(rrr.BuildIndex(st.col, st.opt.Threads))
 }
 
 // selectSeedsIndexed is the vertex-partitioned Algorithm 4: counters are

@@ -72,7 +72,7 @@ func RunCollect(g *graph.Graph, opt Options) (*Result, *rrr.Collection, *rrr.Ind
 	startOther := time.Now()
 	n := g.NumVertices()
 	col := rrr.NewCollection(n)
-	st := newSamplerState(g, opt)
+	st := NewBatchSampler(g, opt)
 	tm := NewAnalysis(n, opt.K, opt.Epsilon, opt.L)
 	res.Phases.Add(trace.Other, time.Since(startOther))
 
@@ -82,7 +82,7 @@ func RunCollect(g *graph.Graph, opt Options) (*Result, *rrr.Collection, *rrr.Ind
 		lb := 1.0
 		for x := 1; x <= tm.maxX; x++ {
 			need := tm.ThetaAt(x) - int64(col.Count())
-			st.sampleBatch(col, int(need))
+			st.Sample(col, int(need))
 			_, cov := SelectSeeds(col, opt.K, opt.Workers)
 			nF := tm.N() * float64(cov) / float64(col.Count())
 			if nF >= tm.ThresholdAt(x) {
@@ -96,7 +96,7 @@ func RunCollect(g *graph.Graph, opt Options) (*Result, *rrr.Collection, *rrr.Ind
 
 	// Phase 2: Sample (Algorithm 3), the direct skeleton invocation.
 	res.Phases.Measure(trace.Sampling, func() {
-		st.sampleBatch(col, int(res.Theta)-col.Count())
+		st.Sample(col, int(res.Theta)-col.Count())
 	})
 
 	// Phase 2.5: invert the finished collection into the vertex->samples
@@ -124,8 +124,12 @@ func RunCollect(g *graph.Graph, opt Options) (*Result, *rrr.Collection, *rrr.Ind
 
 	res.SamplesGenerated = col.Count()
 	res.StoreBytes = col.Bytes()
-	res.WorkBalance = st.workBalance()
-	res.WorkerWork = append([]int64(nil), st.workerWork...)
+	res.WorkBalance = st.WorkBalance()
+	res.WorkerWork = append([]int64(nil), st.Work...)
+	if opt.Metrics != nil {
+		// Permille, because gauges are integers: 1000 = perfectly balanced.
+		opt.Metrics.Gauge("rrr/balance").Set(int64(res.WorkBalance * 1000))
+	}
 	return res, col, idx, nil
 }
 
@@ -143,7 +147,7 @@ func RunBaseline(g *graph.Graph, opt Options) (*Result, error) {
 	startOther := time.Now()
 	n := g.NumVertices()
 	store := rrr.NewNaiveStore(n)
-	st := newSamplerState(g, opt)
+	st := NewBatchSampler(g, opt)
 	tm := NewAnalysis(n, opt.K, opt.Epsilon, opt.L)
 	res.Phases.Add(trace.Other, time.Since(startOther))
 
@@ -151,7 +155,7 @@ func RunBaseline(g *graph.Graph, opt Options) (*Result, error) {
 		lb := 1.0
 		for x := 1; x <= tm.maxX; x++ {
 			need := tm.ThetaAt(x) - int64(store.Count())
-			st.sampleBatchNaive(store, int(need))
+			st.sampleNaive(store, int(need))
 			_, cov := SelectSeedsNaive(store, opt.K)
 			nF := tm.N() * float64(cov) / float64(store.Count())
 			if nF >= tm.ThresholdAt(x) {
@@ -164,7 +168,7 @@ func RunBaseline(g *graph.Graph, opt Options) (*Result, error) {
 	})
 
 	res.Phases.Measure(trace.Sampling, func() {
-		st.sampleBatchNaive(store, int(res.Theta)-store.Count())
+		st.sampleNaive(store, int(res.Theta)-store.Count())
 	})
 
 	res.Phases.Measure(trace.SelectSeeds, func() {

@@ -57,6 +57,36 @@ func (m RNGMode) String() string {
 	return fmt.Sprintf("RNGMode(%d)", uint8(m))
 }
 
+// Schedule selects how sample indexes are partitioned onto workers during
+// the sampling phase.
+type Schedule uint8
+
+const (
+	// ScheduleDynamic uses chunked work-stealing with guided chunk sizing
+	// (par.Dynamic): workers that finish their share early steal from the
+	// stragglers, which matters when RRR set sizes are heavy-tailed. In
+	// PerSample RNG mode the generated collection is byte-identical to the
+	// static schedule (every sample's stream is derived from its global
+	// index and output is merged in index order), so dynamic is the
+	// default. LeapFrog mode silently falls back to static, because its
+	// streams are worker-pinned.
+	ScheduleDynamic Schedule = iota
+	// ScheduleStatic uses the paper's static contiguous split
+	// (par.Interval): worker rank of p gets samples [n*rank/p, n*(rank+1)/p).
+	ScheduleStatic
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleStatic:
+		return "static"
+	}
+	return fmt.Sprintf("Schedule(%d)", uint8(s))
+}
+
 // Options configures an IMM run.
 type Options struct {
 	// K is the seed-set cardinality.
@@ -73,6 +103,10 @@ type Options struct {
 	Seed uint64
 	// RNG selects the stream-splitting discipline.
 	RNG RNGMode
+	// Schedule selects the sampling-loop schedule (dynamic work-stealing by
+	// default; see ScheduleDynamic for when the two produce identical
+	// collections).
+	Schedule Schedule
 	// L is the confidence exponent: the guarantee holds with probability
 	// at least 1 - 1/n^L. Zero means the customary 1.
 	L float64
@@ -111,6 +145,9 @@ func (o Options) validate(n int) error {
 	}
 	if o.L < 0 {
 		return fmt.Errorf("imm: l = %v, want l > 0", o.L)
+	}
+	if o.Schedule > ScheduleStatic {
+		return fmt.Errorf("imm: unknown schedule %d", uint8(o.Schedule))
 	}
 	return nil
 }

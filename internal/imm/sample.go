@@ -1,6 +1,8 @@
 package imm
 
 import (
+	"sort"
+
 	"influmax/internal/diffuse"
 	"influmax/internal/graph"
 	"influmax/internal/metrics"
@@ -9,160 +11,271 @@ import (
 	"influmax/internal/rrr"
 )
 
-// samplerState owns the per-run sampling machinery: one reverse-traversal
-// sampler per worker plus the pseudorandom streams. In LeapFrog mode every
-// worker holds a persistent substream of one global LCG sequence (the
-// paper's TRNG discipline); in PerSample mode each sample derives a fresh
-// stream from its global index, making the collection independent of the
-// worker count.
-type samplerState struct {
+// minDynamicChunk is the chunk-size floor handed to par.Dynamic: small
+// enough that the tail of a skewed batch can be re-balanced at per-sample
+// granularity is unnecessary — a handful of samples amortizes the CAS per
+// chunk while still splitting hub-heavy stragglers finely.
+const minDynamicChunk = 8
+
+// BatchSampler owns the per-run sampling machinery of Algorithm 3: one
+// reverse-traversal sampler, pseudorandom generator and output arena per
+// worker, reused across batches so steady-state sampling performs zero
+// per-sample allocations. In LeapFrog RNG mode every worker holds a
+// persistent substream of one global LCG sequence (the paper's TRNG
+// discipline); in PerSample mode each sample's stream is re-derived in
+// place from its global index, making the collection independent of both
+// the worker count and the schedule.
+//
+// It is exported for the distributed ranks (internal/dist), which sample
+// disjoint global index ranges into rank-local collections via SampleAt.
+// A BatchSampler is not safe for concurrent use.
+type BatchSampler struct {
 	g      *graph.Graph
 	opt    Options
-	nextID uint64 // global index of the next sample to generate
+	nextID uint64 // global index of the next sample Sample generates
 
-	workerRands    []*rng.Rand // LeapFrog substreams (nil in PerSample mode)
-	workerSamplers []*diffuse.Sampler
+	streams  []*rng.Rand // worker-pinned substreams (nil in PerSample mode)
+	samplers []*diffuse.Sampler
+	gens     []*rng.SplitMix64 // pooled per-sample generators (PerSample mode)
+	rands    []*rng.Rand       // pooled wrappers over gens
+	arenas   []batchArena
+	merge    []chunkRec // scratch for the deterministic chunk merge
 
-	// workerWork accumulates, per worker, the number of RRR-set entries it
+	naiveBuf []graph.Vertex // scratch for the sequential baseline path
+
+	// Work accumulates, per worker, the number of RRR-set entries it
 	// generated: the sampling-load balance across workers bounds the
 	// strong-scaling efficiency of the sampling phase.
-	workerWork []int64
+	Work []int64
+
+	steals, chunks int64
 
 	// Instrumentation resolved once from Options.Metrics (all nil when
 	// metrics are disabled, keeping the hot path branch-and-go).
 	mSamples *metrics.Counter
 	mEntries *metrics.Counter
 	mSize    *metrics.Histogram
+	mSteals  *metrics.Counter
+	mChunks  *metrics.Counter
 }
 
-// newSamplerState prepares sampling for a run over g.
-func newSamplerState(g *graph.Graph, opt Options) *samplerState {
-	st := &samplerState{
-		g:              g,
-		opt:            opt,
-		workerSamplers: make([]*diffuse.Sampler, opt.Workers),
-		workerWork:     make([]int64, opt.Workers),
+// batchArena buffers one worker's freshly generated chunks before the
+// deterministic global-index-order merge. Its slices keep their capacity
+// across batches (reset to length zero, never reallocated once warm).
+type batchArena struct {
+	verts   []graph.Vertex
+	offsets []int64
+	recs    []chunkRec
+}
+
+// chunkRec locates one executed chunk's output inside a worker's arena.
+// lo, the chunk's first global index within the batch, is the merge key
+// that makes the appended collection independent of which worker ran the
+// chunk and in what order.
+type chunkRec struct {
+	lo     int
+	worker int
+	v0, v1 int // verts span within the worker's arena
+	o0, o1 int // offsets span within the worker's arena
+}
+
+// NewBatchSampler prepares sampling over g. opt must have its defaults
+// resolved (Workers > 0); Run and RunCollect do this, external callers
+// like internal/dist resolve their own.
+func NewBatchSampler(g *graph.Graph, opt Options) *BatchSampler {
+	b := &BatchSampler{
+		g:        g,
+		opt:      opt,
+		samplers: make([]*diffuse.Sampler, opt.Workers),
+		gens:     make([]*rng.SplitMix64, opt.Workers),
+		rands:    make([]*rng.Rand, opt.Workers),
+		arenas:   make([]batchArena, opt.Workers),
+		Work:     make([]int64, opt.Workers),
 	}
-	for w := range st.workerSamplers {
-		st.workerSamplers[w] = diffuse.NewSampler(g, opt.Model)
+	for w := range b.samplers {
+		b.samplers[w] = diffuse.NewSampler(g, opt.Model)
+		b.gens[w] = rng.NewSplitMix64(0) // re-pointed per sample via Reseed
+		b.rands[w] = rng.New(b.gens[w])
 	}
 	if opt.RNG == LeapFrog {
 		base := rng.NewLCG(opt.Seed)
-		st.workerRands = make([]*rng.Rand, opt.Workers)
-		for w := range st.workerRands {
-			st.workerRands[w] = rng.New(base.LeapFrog(w, opt.Workers))
+		b.streams = make([]*rng.Rand, opt.Workers)
+		for w := range b.streams {
+			b.streams[w] = rng.New(base.LeapFrog(w, opt.Workers))
 		}
 	}
 	if opt.Metrics != nil {
-		st.mSamples = opt.Metrics.Counter("rrr/samples")
-		st.mEntries = opt.Metrics.Counter("rrr/entries")
-		st.mSize = opt.Metrics.Histogram("rrr/size")
+		b.mSamples = opt.Metrics.Counter("rrr/samples")
+		b.mEntries = opt.Metrics.Counter("rrr/entries")
+		b.mSize = opt.Metrics.Histogram("rrr/size")
+		b.mSteals = opt.Metrics.Counter("par/steals")
+		b.mChunks = opt.Metrics.Counter("par/chunks")
 	}
-	return st
+	return b
 }
 
-// recordBatch feeds one merged batch into the optional metrics registry:
-// sample and entry counters plus the RRR-set-size histogram (offsets are
-// the arena's cumulative layout, so adjacent differences are set sizes).
-func (st *samplerState) recordBatch(offsets []int64) {
-	if st.mSize == nil {
-		return
+// SetStreams replaces the worker-pinned streams (the distributed LeapFrog
+// discipline, where worker t of rank r holds substream r*threads+t of
+// size*threads). Pinned streams force the static schedule: which worker
+// executes a sample then decides its randomness.
+func (b *BatchSampler) SetStreams(streams []*rng.Rand) {
+	if len(streams) != b.opt.Workers {
+		panic("imm: SetStreams length != Workers")
 	}
-	st.mSamples.Add(int64(len(offsets) - 1))
-	st.mEntries.Add(offsets[len(offsets)-1])
-	for i := 1; i < len(offsets); i++ {
-		st.mSize.Observe(offsets[i] - offsets[i-1])
-	}
+	b.streams = streams
 }
 
-// workerArena buffers one worker's freshly generated samples before the
-// deterministic rank-order merge.
-type workerArena struct {
-	verts   []graph.Vertex
-	offsets []int64
-}
+// Steals returns the total number of work-stealing operations performed so
+// far (zero under the static schedule). Scheduling telemetry — not
+// deterministic.
+func (b *BatchSampler) Steals() int64 { return b.steals }
 
-// sampleBatch generates count new RRR sets in parallel (Algorithm 3) and
-// appends them to col. Roots are drawn uniformly at random; each worker
-// buffers its output and the buffers are merged in rank order, so the
-// resulting collection layout is deterministic for a fixed worker count
-// (and, in PerSample mode, for any worker count).
-func (st *samplerState) sampleBatch(col *rrr.Collection, count int) {
+// Chunks returns the total number of scheduler chunks executed so far.
+func (b *BatchSampler) Chunks() int64 { return b.chunks }
+
+// WorkBalance returns avg/max of per-worker sampling work (1.0 = perfect
+// balance), or 0 if no work was recorded.
+func (b *BatchSampler) WorkBalance() float64 { return metrics.WorkBalanceOf(b.Work) }
+
+// Sample generates count new RRR sets in parallel (Algorithm 3) and
+// appends them to col, assigning the next count global sample indexes.
+func (b *BatchSampler) Sample(col *rrr.Collection, count int) {
 	if count <= 0 {
 		return
 	}
-	n := st.g.NumVertices()
-	p := st.opt.Workers
+	b.SampleAt(col, b.nextID, count)
+	b.nextID += uint64(count)
+}
+
+// SampleAt generates count RRR sets whose global indexes are
+// [base, base+count) and appends them to col in index order. Roots are
+// drawn uniformly at random. In PerSample mode the appended layout is a
+// pure function of (seed, base, count) — independent of worker count and
+// schedule; in LeapFrog mode it depends on the worker count (as in the
+// paper) and base is ignored.
+func (b *BatchSampler) SampleAt(col *rrr.Collection, base uint64, count int) {
+	if count <= 0 {
+		return
+	}
+	n := b.g.NumVertices()
+	p := b.opt.Workers
 	if p > count {
 		p = count
 	}
-	arenas := make([]workerArena, p)
-	par.ForEach(count, p, func(rank, lo, hi int) {
-		sampler := st.workerSamplers[rank]
-		a := workerArena{offsets: []int64{0}}
-		r := st.workerRands // nil unless LeapFrog
-		var stream *rng.Rand
-		if r != nil {
-			stream = r[rank]
+	for w := 0; w < p; w++ {
+		a := &b.arenas[w]
+		a.verts = a.verts[:0]
+		a.offsets = a.offsets[:0]
+		a.recs = a.recs[:0]
+	}
+
+	run := func(rank, lo, hi int) {
+		a := &b.arenas[rank]
+		sampler := b.samplers[rank]
+		v0, o0 := len(a.verts), len(a.offsets)
+		a.offsets = append(a.offsets, 0)
+		stream := b.rands[rank]
+		pinned := b.streams != nil
+		if pinned {
+			stream = b.streams[rank]
 		}
+		gen := b.gens[rank]
 		for i := lo; i < hi; i++ {
-			if r == nil {
-				stream = rng.New(rng.Derive(st.opt.Seed, st.nextID+uint64(i)))
+			if !pinned {
+				gen.Reseed(b.opt.Seed, base+uint64(i))
 			}
 			root := graph.Vertex(stream.Intn(n))
 			a.verts = sampler.GenerateRR(stream, root, a.verts)
-			a.offsets = append(a.offsets, int64(len(a.verts)))
+			a.offsets = append(a.offsets, int64(len(a.verts)-v0))
 		}
-		arenas[rank] = a
-		st.workerWork[rank] += int64(len(a.verts))
-	})
-	for _, a := range arenas {
-		col.AppendArena(a.verts, a.offsets)
-		st.recordBatch(a.offsets)
+		a.recs = append(a.recs, chunkRec{lo: lo, worker: rank, v0: v0, v1: len(a.verts), o0: o0, o1: len(a.offsets)})
+		b.Work[rank] += int64(len(a.verts) - v0)
 	}
-	st.nextID += uint64(count)
+
+	// Pinned streams (LeapFrog) make randomness a function of the executing
+	// worker, so only the static split keeps them well-defined; everything
+	// else goes through the work-stealing loop unless static was requested.
+	if b.opt.Schedule == ScheduleDynamic && b.streams == nil && p > 1 {
+		st := par.DynamicSteal(count, p, minDynamicChunk, run)
+		b.steals += st.Steals
+		b.chunks += st.Chunks
+		if b.mChunks != nil {
+			b.mSteals.Add(st.Steals)
+			b.mChunks.Add(st.Chunks)
+		}
+	} else {
+		par.ForEach(count, p, run)
+		var c int64
+		for w := 0; w < p; w++ {
+			c += int64(len(b.arenas[w].recs))
+		}
+		b.chunks += c
+		if b.mChunks != nil {
+			b.mChunks.Add(c)
+		}
+	}
+
+	// Deterministic merge: append every chunk in global-index order. Chunk
+	// boundaries always tile [0, count) contiguously, so sorting records by
+	// lo reconstructs the exact layout a sequential pass would have written,
+	// regardless of which worker ran which chunk or when.
+	first := col.Count()
+	b.merge = b.merge[:0]
+	var entries int64
+	for w := 0; w < p; w++ {
+		b.merge = append(b.merge, b.arenas[w].recs...)
+		entries += int64(len(b.arenas[w].verts))
+	}
+	sort.Slice(b.merge, func(i, j int) bool { return b.merge[i].lo < b.merge[j].lo })
+	col.Reserve(count, entries)
+	for _, r := range b.merge {
+		a := &b.arenas[r.worker]
+		col.AppendArena(a.verts[r.v0:r.v1], a.offsets[r.o0:r.o1])
+	}
+	b.recordRange(col, first)
 }
 
-// workBalance returns avg/max of per-worker sampling work (1.0 = perfect
-// balance), or 0 if no work was recorded.
-func (st *samplerState) workBalance() float64 {
-	var total, maxW int64
-	for _, w := range st.workerWork {
-		total += w
-		if w > maxW {
-			maxW = w
-		}
+// recordRange feeds the samples col gained since count was first into the
+// optional metrics registry: sample and entry counters plus the
+// RRR-set-size histogram. Iterating the merged collection (not the
+// arenas) keeps the observation order schedule-independent.
+func (b *BatchSampler) recordRange(col *rrr.Collection, first int) {
+	if b.mSize == nil {
+		return
 	}
-	if maxW == 0 {
-		return 0
+	b.mSamples.Add(int64(col.Count() - first))
+	var entries int64
+	for i := first; i < col.Count(); i++ {
+		sz := int64(len(col.Sample(i)))
+		entries += sz
+		b.mSize.Observe(sz)
 	}
-	return float64(total) / float64(len(st.workerWork)) / float64(maxW)
+	b.mEntries.Add(entries)
 }
 
-// sampleBatchNaive is the sequential sampling path of the Tang-style
-// baseline: one thread, one stream, bidirectional store.
-func (st *samplerState) sampleBatchNaive(store *rrr.NaiveStore, count int) {
+// sampleNaive is the sequential sampling path of the Tang-style baseline:
+// one thread, one stream, bidirectional store.
+func (b *BatchSampler) sampleNaive(store *rrr.NaiveStore, count int) {
 	if count <= 0 {
 		return
 	}
-	n := st.g.NumVertices()
-	sampler := st.workerSamplers[0]
-	var buf []graph.Vertex
+	n := b.g.NumVertices()
+	sampler := b.samplers[0]
 	for i := 0; i < count; i++ {
-		var stream *rng.Rand
-		if st.workerRands != nil {
-			stream = st.workerRands[0]
+		stream := b.rands[0]
+		if b.streams != nil {
+			stream = b.streams[0]
 		} else {
-			stream = rng.New(rng.Derive(st.opt.Seed, st.nextID+uint64(i)))
+			b.gens[0].Reseed(b.opt.Seed, b.nextID+uint64(i))
 		}
 		root := graph.Vertex(stream.Intn(n))
-		buf = sampler.GenerateRR(stream, root, buf[:0])
-		store.Append(buf)
-		if st.mSize != nil {
-			st.mSamples.Inc()
-			st.mEntries.Add(int64(len(buf)))
-			st.mSize.Observe(int64(len(buf)))
+		b.naiveBuf = sampler.GenerateRR(stream, root, b.naiveBuf[:0])
+		store.Append(b.naiveBuf)
+		if b.mSize != nil {
+			b.mSamples.Inc()
+			b.mEntries.Add(int64(len(b.naiveBuf)))
+			b.mSize.Observe(int64(len(b.naiveBuf)))
 		}
 	}
-	st.nextID += uint64(count)
+	b.nextID += uint64(count)
 }

@@ -47,7 +47,7 @@ func RunTIMPlus(g *graph.Graph, opt Options) (*TIMResult, error) {
 	l := opt.L
 	k := opt.K
 	col := rrr.NewCollection(n)
-	st := newSamplerState(g, opt)
+	st := NewBatchSampler(g, opt)
 	res.Phases.Add(trace.Other, time.Since(startOther))
 
 	// Phase 1: KPT* estimation (Algorithm 2 of Tang et al. 2014).
@@ -58,7 +58,7 @@ func RunTIMPlus(g *graph.Graph, opt Options) (*TIMResult, error) {
 			ci := int64((6*l*math.Log(nf) + 6*math.Log(math.Log2(nf))) * math.Pow(2, float64(i)))
 			// Grow the collection to ci total samples.
 			if int64(col.Count()) < ci {
-				st.sampleBatch(col, int(ci)-col.Count())
+				st.Sample(col, int(ci)-col.Count())
 			}
 			sum := 0.0
 			for j := 0; j < int(ci) && j < col.Count(); j++ {
@@ -90,7 +90,7 @@ func RunTIMPlus(g *graph.Graph, opt Options) (*TIMResult, error) {
 		if need > 4*int64(col.Count())+1024 {
 			need = 4*int64(col.Count()) + 1024
 		}
-		st.sampleBatch(fresh, int(need))
+		st.Sample(fresh, int(need))
 		covered := 0
 		for j := 0; j < fresh.Count(); j++ {
 			for _, s := range seeds {
@@ -114,7 +114,7 @@ func RunTIMPlus(g *graph.Graph, opt Options) (*TIMResult, error) {
 			(l*math.Log(nf) + stats.LogBinomial(int64(n), int64(k)) + math.Ln2) /
 			(opt.Epsilon * opt.Epsilon)
 		res.Theta = int64(math.Ceil(lambda / res.KPTPlus))
-		st.sampleBatch(col, int(res.Theta)-col.Count())
+		st.Sample(col, int(res.Theta)-col.Count())
 	})
 
 	// Phase 4: final selection, over the inverted incidence index.

@@ -1,0 +1,172 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// This file implements the dynamically scheduled parallel loop used where
+// per-item work is highly skewed (reverse-BFS sampling, where RRR set
+// sizes vary by orders of magnitude). The paper's static OpenMP split
+// (Interval) loses strong-scaling efficiency there: whichever thread draws
+// the hub-adjacent roots becomes the critical path. The scheduler below is
+// a chunked work-stealing loop:
+//
+//   - every worker starts owning the same contiguous interval the static
+//     schedule would give it, held as one CAS-updated (lo, hi) range — a
+//     degenerate deque of index chunks;
+//   - a worker claims chunks from the head of its own range with guided
+//     sizing (a quarter of its remainder, never below the caller's chunk
+//     floor), so early chunks are large and the tail is fine-grained;
+//   - a worker whose range is empty steals the upper half of the first
+//     non-empty range it finds, scanning victims in deterministic
+//     rank order, installs the loot as its own range and goes back to
+//     guided claiming (so the loot is itself re-stealable);
+//   - workers leave only when every index has been claimed for execution,
+//     and the barrier returns only after every claimed chunk has run —
+//     work-conserving, and a deterministic completion point for callers.
+//
+// Which worker executes which chunk is timing-dependent; determinism of
+// results is the caller's business (the IMM sampler derives each sample's
+// randomness from its global index and merges output in index order, so
+// its collections are byte-identical under any schedule).
+
+// StealStats reports what one dynamic loop's scheduler did: how many
+// chunks were claimed in total and how many steals re-balanced the load.
+// Both are scheduling telemetry — timing-dependent, not deterministic.
+type StealStats struct {
+	// Chunks is the number of fn invocations (claimed chunks).
+	Chunks int64
+	// Steals is the number of successful steal-half operations.
+	Steals int64
+}
+
+// guidedDiv is the guided-sizing divisor: an owner claims rem/guidedDiv of
+// its remaining range per chunk (floored at the caller's chunk size).
+const guidedDiv = 4
+
+// packRange packs a half-open index range into one CAS-able word; indexes
+// must fit in uint32 (the scheduler caps n at MaxDynamicN).
+func packRange(lo, hi int) uint64 { return uint64(uint32(lo))<<32 | uint64(uint32(hi)) }
+
+func unpackRange(v uint64) (lo, hi int) { return int(v >> 32), int(uint32(v)) }
+
+// MaxDynamicN is the largest n Dynamic accepts (range bounds are packed
+// into one 64-bit word for atomic claim/steal).
+const MaxDynamicN = 1<<31 - 1
+
+// Dynamic runs a dynamically scheduled parallel loop over [0, n): chunked
+// work-stealing with guided chunk sizing (see the file comment). chunk is
+// the minimum chunk size (<= 0 means 1); fn(rank, lo, hi) is invoked with
+// disjoint ranges that exactly tile [0, n), each on the worker that
+// claimed it. It returns only after every index has been executed.
+func Dynamic(n, p, chunk int, fn func(rank, lo, hi int)) {
+	DynamicSteal(n, p, chunk, fn)
+}
+
+// DynamicSteal is Dynamic returning the scheduler's steal/chunk counters.
+func DynamicSteal(n, p, chunk int, fn func(rank, lo, hi int)) StealStats {
+	if n <= 0 {
+		return StealStats{}
+	}
+	if n > MaxDynamicN {
+		panic("par: Dynamic over more than 2^31-1 items")
+	}
+	if p <= 0 {
+		p = DefaultWorkers()
+	}
+	if p > n {
+		p = n
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if p == 1 {
+		fn(0, 0, n)
+		return StealStats{Chunks: 1}
+	}
+
+	// Per-worker ranges, initialized to the static split so a run with no
+	// steals touches memory exactly like the static schedule.
+	ranges := make([]atomic.Uint64, p)
+	for r := range ranges {
+		lo, hi := Interval(n, p, r)
+		ranges[r].Store(packRange(lo, hi))
+	}
+	// unclaimed counts indexes not yet claimed for execution. It reaches
+	// zero exactly when the last chunk has been handed to a worker; a
+	// worker finding nothing to steal parks on it rather than exiting, so
+	// loot still being installed by a thief cannot be stranded.
+	var unclaimed atomic.Int64
+	unclaimed.Store(int64(n))
+	var steals, chunks atomic.Int64
+
+	// claimOwn takes a guided-size chunk off the head of r's range.
+	claimOwn := func(r int) (int, int, bool) {
+		for {
+			v := ranges[r].Load()
+			lo, hi := unpackRange(v)
+			rem := hi - lo
+			if rem <= 0 {
+				return 0, 0, false
+			}
+			c := rem / guidedDiv
+			if c < chunk {
+				c = chunk
+			}
+			if c > rem {
+				c = rem
+			}
+			if ranges[r].CompareAndSwap(v, packRange(lo+c, hi)) {
+				unclaimed.Add(int64(-c))
+				return lo, lo + c, true
+			}
+		}
+	}
+	// stealHalf takes the upper half of v's range (the part farthest from
+	// the victim's claiming head).
+	stealHalf := func(v int) (int, int, bool) {
+		for {
+			w := ranges[v].Load()
+			lo, hi := unpackRange(w)
+			rem := hi - lo
+			if rem <= 0 {
+				return 0, 0, false
+			}
+			mid := hi - (rem+1)/2
+			if ranges[v].CompareAndSwap(w, packRange(lo, mid)) {
+				return mid, hi, true
+			}
+		}
+	}
+
+	Run(p, func(rank int) {
+		for {
+			if lo, hi, ok := claimOwn(rank); ok {
+				chunks.Add(1)
+				fn(rank, lo, hi)
+				continue
+			}
+			// Own range empty. Only its owner refills a range, so the CAS
+			// traffic below cannot resurrect ours: stealing is safe.
+			stolen := false
+			for d := 1; d < p; d++ {
+				if lo, hi, ok := stealHalf((rank + d) % p); ok {
+					ranges[rank].Store(packRange(lo, hi))
+					steals.Add(1)
+					stolen = true
+					break
+				}
+			}
+			if stolen {
+				continue
+			}
+			if unclaimed.Load() <= 0 {
+				return // every index is claimed; Run's join is the barrier
+			}
+			// A thief holds loot it has not installed yet; yield and rescan.
+			runtime.Gosched()
+		}
+	})
+	return StealStats{Chunks: chunks.Load(), Steals: steals.Load()}
+}

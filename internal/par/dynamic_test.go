@@ -1,0 +1,160 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// tortureMix is a SplitMix64 step, duplicated here so the scheduler tests
+// stay free of imports from the packages built on top of par.
+func tortureMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TestDynamicOnceEachProperty is the scheduler's core safety property:
+// for arbitrary (n, p, chunk) shapes, every index in [0, n) is executed
+// exactly once, every range is well-formed, and every rank is in [0, p).
+func TestDynamicOnceEachProperty(t *testing.T) {
+	prop := func(n uint16, p, chunk uint8) bool {
+		nn := int(n) % 2048
+		pp := int(p)%12 + 1
+		cc := int(chunk) % 70
+		marks := make([]int32, nn)
+		bad := atomic.Bool{}
+		Dynamic(nn, pp, cc, func(rank, lo, hi int) {
+			if rank < 0 || rank >= pp || lo > hi || lo < 0 || hi > nn {
+				bad.Store(true)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		if bad.Load() {
+			return false
+		}
+		for _, m := range marks {
+			if m != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicEdgeShapes pins the boundary shapes the property test only
+// hits probabilistically: empty loops, fewer items than workers, single
+// worker, chunk floors larger than n, and n vastly above p.
+func TestDynamicEdgeShapes(t *testing.T) {
+	t.Run("n=0", func(t *testing.T) {
+		calls := 0
+		st := DynamicSteal(0, 8, 4, func(_, _, _ int) { calls++ })
+		if calls != 0 || st.Chunks != 0 || st.Steals != 0 {
+			t.Fatalf("empty loop: calls %d, stats %+v", calls, st)
+		}
+	})
+	t.Run("n<p", func(t *testing.T) {
+		marks := make([]int32, 3)
+		DynamicSteal(3, 16, 1, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("item %d touched %d times", i, m)
+			}
+		}
+	})
+	t.Run("p=1", func(t *testing.T) {
+		var ranges [][2]int
+		st := DynamicSteal(100, 1, 7, func(rank, lo, hi int) {
+			if rank != 0 {
+				t.Errorf("rank %d on single-worker loop", rank)
+			}
+			ranges = append(ranges, [2]int{lo, hi})
+		})
+		if len(ranges) != 1 || ranges[0] != [2]int{0, 100} {
+			t.Fatalf("single worker ranges %v, want one [0,100)", ranges)
+		}
+		if st.Chunks != 1 || st.Steals != 0 {
+			t.Fatalf("single worker stats %+v", st)
+		}
+	})
+	t.Run("chunk>n", func(t *testing.T) {
+		var count int32
+		DynamicSteal(5, 3, 1000, func(_, lo, hi int) { atomic.AddInt32(&count, int32(hi-lo)) })
+		if count != 5 {
+			t.Fatalf("covered %d items, want 5", count)
+		}
+	})
+	t.Run("n>>p", func(t *testing.T) {
+		n := 200_000
+		var count atomic.Int64
+		st := DynamicSteal(n, 4, 1, func(_, lo, hi int) { count.Add(int64(hi - lo)) })
+		if count.Load() != int64(n) {
+			t.Fatalf("covered %d items, want %d", count.Load(), n)
+		}
+		if st.Chunks < 4 {
+			t.Fatalf("guided sizing produced only %d chunks for n=%d p=4", st.Chunks, n)
+		}
+	})
+}
+
+// TestDynamicStealTorture forces steals deterministically: worker 0's
+// initial interval carries pseudo-random sleeps (seeded, no wall-clock
+// randomness) so every other worker drains its own range and must steal
+// from worker 0. Run under -race this doubles as the scheduler's
+// concurrency soak; the assertions are the once-each invariant and that
+// the steal counter actually moved.
+func TestDynamicStealTorture(t *testing.T) {
+	const (
+		n    = 512
+		p    = 8
+		seed = 42
+	)
+	slowLo, slowHi := Interval(n, p, 0)
+	marks := make([]int32, n)
+	st := DynamicSteal(n, p, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&marks[i], 1)
+			if i >= slowLo && i < slowHi {
+				// 50–250µs per slow item, derived from the item index.
+				d := time.Duration(50+tortureMix(uint64(seed)+uint64(i))%200) * time.Microsecond
+				time.Sleep(d)
+			}
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("item %d touched %d times", i, m)
+		}
+	}
+	if st.Steals == 0 {
+		t.Fatal("torture loop completed without a single steal")
+	}
+	if st.Chunks < 2 {
+		t.Fatalf("torture loop used %d chunks, want >= 2", st.Chunks)
+	}
+	t.Logf("torture: %d chunks, %d steals", st.Chunks, st.Steals)
+}
+
+// TestDynamicRangePacking pins the 32-bit packed-range representation the
+// CAS loop depends on.
+func TestDynamicRangePacking(t *testing.T) {
+	cases := [][2]int{{0, 0}, {0, 1}, {7, 513}, {MaxDynamicN - 1, MaxDynamicN}}
+	for _, c := range cases {
+		lo, hi := unpackRange(packRange(c[0], c[1]))
+		if lo != c[0] || hi != c[1] {
+			t.Fatalf("pack/unpack [%d,%d) -> [%d,%d)", c[0], c[1], lo, hi)
+		}
+	}
+}

@@ -67,48 +67,6 @@ func ForEach(n, p int, fn func(rank, lo, hi int)) {
 	})
 }
 
-// Dynamic runs a dynamically scheduled parallel loop over [0, n): p workers
-// repeatedly claim chunks of the given size. It is used where per-item work
-// is highly skewed (e.g. reverse-BFS sampling, where RRR set sizes vary by
-// orders of magnitude).
-func Dynamic(n, p, chunk int, fn func(rank, lo, hi int)) {
-	if p <= 0 {
-		p = DefaultWorkers()
-	}
-	if chunk <= 0 {
-		chunk = 1
-	}
-	if p == 1 || n <= chunk {
-		fn(0, 0, n)
-		return
-	}
-	var next int64
-	var mu sync.Mutex
-	claim := func() (int, int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if int(next) >= n {
-			return 0, 0, false
-		}
-		lo := int(next)
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		next = int64(hi)
-		return lo, hi, true
-	}
-	Run(p, func(rank int) {
-		for {
-			lo, hi, ok := claim()
-			if !ok {
-				return
-			}
-			fn(rank, lo, hi)
-		}
-	})
-}
-
 // ReduceMax combines per-worker (value, argument) pairs into the global
 // maximum, breaking ties toward the smaller argument so parallel reductions
 // are deterministic. Entries with value < 0 are ignored; it returns

@@ -136,10 +136,19 @@ func (g *SplitMix64) Uint64() uint64 {
 // give every Monte Carlo sample its own stream so results do not depend on
 // which worker or rank executes the sample.
 func Derive(seed, index uint64) *SplitMix64 {
+	g := new(SplitMix64)
+	g.Reseed(seed, index)
+	return g
+}
+
+// Reseed resets g in place to the exact stream Derive(seed, index) returns,
+// so a per-worker generator can be re-pointed at each sample's stream
+// without allocating a generator per sample.
+func (g *SplitMix64) Reseed(seed, index uint64) {
 	// The index is passed through the finalizer so that adjacent indices do
 	// not yield shifted copies of one another (SplitMix64 streams whose
 	// states differ by small multiples of the increment would).
-	return &SplitMix64{state: Mix64(Mix64(seed^0x632be59bd9b4e019) ^ (index * 0xd1342543de82ef95))}
+	g.state = Mix64(Mix64(seed^0x632be59bd9b4e019) ^ (index * 0xd1342543de82ef95))
 }
 
 // Xoshiro256 is the xoshiro256** generator of Blackman and Vigna.

@@ -307,3 +307,19 @@ func BenchmarkLeapFrogSplit(b *testing.B) {
 		_ = g.LeapFrog(i%16, 16)
 	}
 }
+
+func TestReseedMatchesDerive(t *testing.T) {
+	g := NewSplitMix64(0)
+	for _, tc := range []struct{ seed, index uint64 }{
+		{0, 0}, {1, 0}, {0, 1}, {42, 1 << 40}, {^uint64(0), 12345},
+	} {
+		g.Reseed(tc.seed, tc.index)
+		fresh := Derive(tc.seed, tc.index)
+		for i := 0; i < 8; i++ {
+			if a, b := g.Uint64(), fresh.Uint64(); a != b {
+				t.Fatalf("seed=%d index=%d step %d: Reseed stream %x != Derive stream %x",
+					tc.seed, tc.index, i, a, b)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package rrr
 
 import (
+	"slices"
 	"sort"
 
 	"influmax/internal/graph"
@@ -60,6 +61,14 @@ func (c *Collection) AppendArena(verts []graph.Vertex, offsets []int64) {
 	for i := 1; i < len(offsets); i++ {
 		c.offsets = append(c.offsets, base+offsets[i])
 	}
+}
+
+// Reserve grows the backing arrays so that at least samples more samples
+// totalling entries more vertex entries can be appended without
+// reallocation (batch merges size their append target exactly).
+func (c *Collection) Reserve(samples int, entries int64) {
+	c.offsets = slices.Grow(c.offsets, samples)
+	c.verts = slices.Grow(c.verts, int(entries))
 }
 
 // Sample returns the i-th sample's sorted vertex list (aliasing internal

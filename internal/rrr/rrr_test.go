@@ -260,3 +260,24 @@ func TestHypergraphIncidenceMatchesMembership(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReserveRetainsContentAndPreventsGrowth(t *testing.T) {
+	c := NewCollection(10)
+	c.Append([]graph.Vertex{1, 3})
+	c.Reserve(100, 500)
+	if c.Count() != 1 || len(c.Sample(0)) != 2 {
+		t.Fatalf("Reserve disturbed content: count %d", c.Count())
+	}
+	// Appends within the reservation must not move the backing arrays.
+	v0 := &c.verts[:cap(c.verts)][0]
+	o0 := &c.offsets[:cap(c.offsets)][0]
+	for i := 0; i < 100; i++ {
+		c.Append([]graph.Vertex{graph.Vertex(i % 10), graph.Vertex(i%10 + 1)})
+	}
+	if &c.verts[0] != v0 || &c.offsets[0] != o0 {
+		t.Fatal("append within reservation reallocated backing array")
+	}
+	if got := c.CheckInvariants(); got != -1 {
+		t.Fatalf("invariants broken at sample %d", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"influmax/internal/diffuse"
 	"influmax/internal/graph"
+	"influmax/internal/imm"
 	"influmax/internal/metrics"
 	"influmax/internal/par"
 )
@@ -36,6 +37,9 @@ type Config struct {
 	// Workers is the thread count for sampling and per-query selection
 	// (<= 0 uses all cores).
 	Workers int
+	// Schedule is the sampling-loop schedule for sketch builds (dynamic
+	// work-stealing by default; sketch content does not depend on it).
+	Schedule imm.Schedule
 	// MaxConcurrent bounds queries executing at once (the worker pool;
 	// <= 0 defaults to 2).
 	MaxConcurrent int
@@ -283,7 +287,7 @@ func (s *Server) writeBackoff(w http.ResponseWriter, status int, format string, 
 func (s *Server) sketchFor(ctx context.Context, key SketchKey) (*Sketch, bool, error) {
 	sk, hit, err := s.cache.get(ctx, key, func() (*Sketch, error) {
 		s.mBuilds.Inc()
-		return BuildSketch(s.cfg.Graph, key, s.cfg.Workers, s.reg)
+		return BuildSketch(s.cfg.Graph, key, s.cfg.Workers, s.cfg.Schedule, s.reg)
 	})
 	s.mSketches.Set(int64(s.cache.len()))
 	return sk, hit, err

@@ -60,11 +60,13 @@ type Sketch struct {
 // sampling pipeline of Algorithm 1 at K = key.KMax, transcoded into the
 // compressed store. The plain arena is dropped after transcoding; the
 // index built by the run is reused as-is (it is a pure function of the
-// samples, so it indexes the compressed store equally).
-func BuildSketch(g *graph.Graph, key SketchKey, workers int, reg *metrics.Registry) (*Sketch, error) {
+// samples, so it indexes the compressed store equally). schedule picks
+// the sampling-loop schedule; the sketch content does not depend on it
+// (builds run in PerSample RNG mode).
+func BuildSketch(g *graph.Graph, key SketchKey, workers int, schedule imm.Schedule, reg *metrics.Registry) (*Sketch, error) {
 	opt := imm.Options{
 		K: key.KMax, Epsilon: key.Epsilon, Model: key.Model,
-		Workers: workers, Seed: key.Seed, Metrics: reg,
+		Workers: workers, Seed: key.Seed, Schedule: schedule, Metrics: reg,
 	}
 	res, col, idx, err := imm.RunCollect(g, opt)
 	if err != nil {
