@@ -10,10 +10,12 @@ package influmax
 import (
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"influmax/internal/diffuse"
 	"influmax/internal/dist"
@@ -543,24 +545,23 @@ func countAtomic(col *rrr.Collection, counter []int32, workers int) {
 	})
 }
 
-// Plain arena vs varint-compressed RRR store: memory versus decode cost
-// during counting (the extension of the paper's Section 3.1 memory
-// optimization).
-func BenchmarkAblationCompressedStore(b *testing.B) {
+// Plain arena vs byte-coded RRR store: memory versus decode cost during
+// counting (the extension of the paper's Section 3.1 memory optimization;
+// wire format in DESIGN.md section 13).
+func BenchmarkAblationCodedStore(b *testing.B) {
 	g := benchGraph(b, "soc-Epinions1")
 	n := g.NumVertices()
 	plain := rrr.NewCollection(n)
-	comp := rrr.NewCompressedCollection(n)
 	sampler := diffuse.NewSampler(g, diffuse.IC)
 	r := rng.New(rng.NewLCG(3))
 	var buf []graph.Vertex
 	for i := 0; i < 3000; i++ {
 		buf = sampler.GenerateRR(r, graph.Vertex(r.Intn(n)), buf[:0])
 		plain.Append(buf)
-		comp.Append(buf)
 	}
-	b.Logf("store bytes: plain %d, compressed %d (%.2fx)",
-		plain.Bytes(), comp.Bytes(), float64(plain.Bytes())/float64(comp.Bytes()))
+	coded := rrr.FromCollection(plain, rrr.NewRelabeling(rrr.IncidenceOf(plain, 1)))
+	b.Logf("store bytes: plain %d, coded %d (%.2fx)",
+		plain.Bytes(), coded.Bytes(), float64(plain.Bytes())/float64(coded.Bytes()))
 	counter := make([]int32, n)
 	b.Run("plain-count", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -568,10 +569,10 @@ func BenchmarkAblationCompressedStore(b *testing.B) {
 			plain.CountRange(counter, nil, 0, graph.Vertex(n))
 		}
 	})
-	b.Run("compressed-count", func(b *testing.B) {
+	b.Run("coded-count", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			clear(counter)
-			comp.CountAll(counter, nil)
+			coded.CountAll(counter, nil)
 		}
 	})
 }
@@ -616,5 +617,72 @@ func benchAllReduce(b *testing.B, size, p int, f func(mpi.Comm, []int64) error) 
 			}(r)
 		}
 		wg.Wait()
+	}
+}
+
+// BenchmarkStoreFootprintGate is the CI-enforced acceptance gate of the
+// byte-coded store (DESIGN.md section 13): on the soc-LiveJournal1 analog
+// the frequency-relabeled coding must hold the same samples in at most 1/3
+// of the flat arena's footprint, selection over the coded store must
+// return byte-identical seeds, and its best-of-7 selection time must stay
+// within 30% of SelectSeedsIndexed over the flat arena. Violations
+// b.Fatalf, so a plain `go test -bench StoreFootprintGate` run fails
+// loudly in CI instead of silently regressing the memory story.
+func BenchmarkStoreFootprintGate(b *testing.B) {
+	g := benchGraph(b, "soc-LiveJournal1")
+	n := g.NumVertices()
+	col := rrr.NewCollection(n)
+	sampler := diffuse.NewSampler(g, diffuse.IC)
+	r := rng.New(rng.NewLCG(3))
+	var buf []graph.Vertex
+	const samples = 6000
+	for i := 0; i < samples; i++ {
+		buf = sampler.GenerateRR(r, graph.Vertex(r.Intn(n)), buf[:0])
+		col.Append(buf)
+	}
+	coded := rrr.FromCollection(col, rrr.NewRelabeling(rrr.IncidenceOf(col, 4)))
+
+	ratio := float64(coded.FlatBytes()) / float64(coded.Bytes())
+	b.Logf("store bytes: flat %d, coded %d (%.2fx; relabel table %d)",
+		coded.FlatBytes(), coded.Bytes(), ratio, coded.Relabeling().Bytes())
+	b.ReportMetric(ratio, "flat/coded-bytes")
+	if ratio < 3.0 {
+		b.Fatalf("footprint gate: coded store compresses %.2fx, need >= 3.0x", ratio)
+	}
+
+	const k, workers = 50, 4
+	idx := rrr.BuildIndex(col, workers)
+	cidx := rrr.BuildIndexCoded(coded, workers)
+	wantSeeds, wantCov := imm.SelectSeedsIndexed(col, idx, k, workers)
+	gotSeeds, gotCov := imm.SelectSeedsSketch(coded, cidx, k, workers)
+	if !slices.Equal(gotSeeds, wantSeeds) || gotCov != wantCov {
+		b.Fatalf("footprint gate: coded selection diverged from flat")
+	}
+
+	best := func(f func()) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < 7; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	flatBest := best(func() { imm.SelectSeedsIndexed(col, idx, k, workers) })
+	codedBest := best(func() { imm.SelectSeedsSketch(coded, cidx, k, workers) })
+	slowdown := float64(codedBest) / float64(flatBest)
+	b.Logf("selection best-of-7: flat %v, coded %v (%.2fx)", flatBest, codedBest, slowdown)
+	b.ReportMetric(slowdown, "coded/flat-select")
+	if slowdown > 1.30 {
+		b.Fatalf("footprint gate: coded selection %.2fx slower than flat, budget is 1.30x", slowdown)
+	}
+
+	// The timed loop re-runs the coded selection, so `-benchmem` style runs
+	// still produce a conventional ns/op column for tracking.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imm.SelectSeedsSketch(coded, cidx, k, workers)
 	}
 }

@@ -37,6 +37,7 @@ func main() {
 		baseline    = flag.Bool("baseline", false, "run the Tang-style sequential baseline instead")
 		leapfrog    = flag.Bool("leapfrog", false, "use leap-frog RNG splitting (paper mode) instead of per-sample")
 		schedule    = flag.String("schedule", "dynamic", "sampling-loop schedule: dynamic (work-stealing) or static (paper's contiguous split)")
+		storeStr    = flag.String("store", "flat", "RRR store for the final selection: flat (uint32 arena) or coded (byte-coded, ~3x smaller; same seeds)")
 		verify      = flag.Int("verify", 0, "if > 0, evaluate the seed set with this many Monte Carlo cascades")
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout (machine-readable)")
 		metricsJSON = flag.String("metrics-json", "", "write a structured RunReport (JSON, schema 1) to this file")
@@ -59,6 +60,10 @@ func main() {
 		fatal("%v", err)
 	}
 	sched, err := influmax.ParseSchedule(*schedule)
+	if err != nil {
+		fatal("%v", err)
+	}
+	store, err := influmax.ParseStoreKind(*storeStr)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -98,7 +103,7 @@ func main() {
 			st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree)
 	}
 
-	opt := influmax.Options{K: *k, Epsilon: *eps, Model: model, Workers: *workers, Seed: *seed, Schedule: sched}
+	opt := influmax.Options{K: *k, Epsilon: *eps, Model: model, Workers: *workers, Seed: *seed, Schedule: sched, Store: store}
 	if *leapfrog {
 		opt.RNG = influmax.LeapFrog
 	}
@@ -162,7 +167,8 @@ func main() {
 			Model: model.String(), K: *k, Epsilon: *eps, Workers: res.Workers,
 			Seeds: res.Seeds, Theta: res.Theta, SamplesGenerated: res.SamplesGenerated,
 			EstimatedSpread: res.EstimatedSpread, CoverageFraction: res.CoverageFraction,
-			StoreBytes: res.StoreBytes, TotalSeconds: res.Phases.Total().Seconds(),
+			Store: res.Store.String(), StoreBytes: res.StoreBytes,
+			FlatStoreBytes: res.FlatStoreBytes, TotalSeconds: res.Phases.Total().Seconds(),
 			Verified: verified,
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -173,8 +179,12 @@ func main() {
 		return
 	}
 
-	fmt.Printf("theta: %d (lower bound on OPT: %.1f); samples generated: %d; store: %.2f MB\n",
-		res.Theta, res.LowerBound, res.SamplesGenerated, float64(res.StoreBytes)/(1<<20))
+	fmt.Printf("theta: %d (lower bound on OPT: %.1f); samples generated: %d; store: %.2f MB (%s)\n",
+		res.Theta, res.LowerBound, res.SamplesGenerated, float64(res.StoreBytes)/(1<<20), res.Store)
+	if res.Store == influmax.StoreCoded && res.StoreBytes > 0 {
+		fmt.Printf("store compression: %.2fx vs flat (%.2f MB)\n",
+			float64(res.FlatStoreBytes)/float64(res.StoreBytes), float64(res.FlatStoreBytes)/(1<<20))
+	}
 	fmt.Printf("phases: %s (total %v, %d workers)\n", res.Phases.String(), res.Phases.Total(), res.Workers)
 	fmt.Printf("estimated spread: %.1f vertices (coverage %.4f)\n", res.EstimatedSpread, res.CoverageFraction)
 	fmt.Printf("seeds (selection order): %v\n", res.Seeds)
@@ -209,7 +219,9 @@ type jsonResult struct {
 	SamplesGenerated int               `json:"samplesGenerated"`
 	EstimatedSpread  float64           `json:"estimatedSpread"`
 	CoverageFraction float64           `json:"coverageFraction"`
+	Store            string            `json:"store"`
 	StoreBytes       int64             `json:"storeBytes"`
+	FlatStoreBytes   int64             `json:"flatStoreBytes,omitempty"`
 	TotalSeconds     float64           `json:"totalSeconds"`
 	Verified         *verifiedSpread   `json:"verified,omitempty"`
 }

@@ -38,6 +38,7 @@ func main() {
 		modelStr    = flag.String("model", "IC", "diffusion model: IC or LT")
 		threads     = flag.Int("threads", 1, "threads per rank (hybrid model)")
 		schedule    = flag.String("schedule", "dynamic", "intra-rank sampling-loop schedule: dynamic (work-stealing) or static (paper's contiguous split)")
+		storeStr    = flag.String("store", "flat", "rank-local RRR store for selection: flat (uint32 arena) or coded (byte-coded, ~3x smaller; same seeds; must agree across ranks)")
 		seed        = flag.Uint64("seed", 1, "random seed (must agree across ranks)")
 		ranks       = flag.Int("ranks", 4, "local mode: number of in-process ranks")
 		rank        = flag.Int("rank", -1, "TCP mode: this process's rank")
@@ -65,6 +66,10 @@ func main() {
 		fatal("%v", err)
 	}
 	sched, err := influmax.ParseSchedule(*schedule)
+	if err != nil {
+		fatal("%v", err)
+	}
+	store, err := influmax.ParseStoreKind(*storeStr)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -107,8 +112,8 @@ func main() {
 	if model == influmax.LT {
 		g.NormalizeLT()
 	}
-	opt := influmax.DistOptions{K: *k, Epsilon: *eps, Model: model, ThreadsPerRank: *threads, Seed: *seed, Schedule: sched}
-	popt := influmax.PartOptions{K: *k, Epsilon: *eps, Model: model, Seed: *seed, Threads: *threads, Schedule: sched}
+	opt := influmax.DistOptions{K: *k, Epsilon: *eps, Model: model, ThreadsPerRank: *threads, Seed: *seed, Schedule: sched, Store: store}
+	popt := influmax.PartOptions{K: *k, Epsilon: *eps, Model: model, Seed: *seed, Threads: *threads, Schedule: sched, Store: store}
 
 	// writeReport stamps the graph summary on rank 0's merged report and
 	// persists it.
@@ -235,8 +240,8 @@ func reportPart(rank int, res *influmax.PartResult) {
 		fmt.Printf("rank %d done: own [%d, %d)\n", rank, res.OwnedLo, res.OwnedHi)
 		return
 	}
-	fmt.Printf("graph-partitioned: %d ranks; theta: %d; samples: %d; store (this rank): %.2f MB\n",
-		res.Ranks, res.Theta, res.SamplesGenerated, float64(res.StoreBytes)/(1<<20))
+	fmt.Printf("graph-partitioned: %d ranks; theta: %d; samples: %d; store (this rank): %.2f MB (%s)\n",
+		res.Ranks, res.Theta, res.SamplesGenerated, float64(res.StoreBytes)/(1<<20), res.Store)
 	fmt.Printf("phases: %s (total %v)\n", res.Phases.String(), res.Phases.Total())
 	fmt.Printf("estimated spread: %.1f (coverage %.4f)\n", res.EstimatedSpread, res.CoverageFraction)
 	fmt.Printf("seeds: %v\n", res.Seeds)
@@ -247,8 +252,8 @@ func report(rank int, res *influmax.DistResult) {
 		fmt.Printf("rank %d done: %d local samples\n", rank, res.LocalSamples)
 		return
 	}
-	fmt.Printf("ranks: %d; theta: %d; samples: %d (this rank: %d); store: %.2f MB\n",
-		res.Ranks, res.Theta, res.SamplesGenerated, res.LocalSamples, float64(res.StoreBytes)/(1<<20))
+	fmt.Printf("ranks: %d; theta: %d; samples: %d (this rank: %d); store: %.2f MB (%s)\n",
+		res.Ranks, res.Theta, res.SamplesGenerated, res.LocalSamples, float64(res.StoreBytes)/(1<<20), res.Store)
 	fmt.Printf("phases: %s (total %v)\n", res.Phases.String(), res.Phases.Total())
 	fmt.Printf("estimated spread: %.1f (coverage %.4f)\n", res.EstimatedSpread, res.CoverageFraction)
 	fmt.Printf("seeds: %v\n", res.Seeds)

@@ -39,6 +39,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "random seed")
 		workers      = flag.Int("workers", 0, "threads for sampling and selection (0 = all cores)")
 		schedule     = flag.String("schedule", "dynamic", "sketch-build sampling schedule: dynamic (work-stealing) or static (paper's contiguous split)")
+		storeStr     = flag.String("store", "flat", "resident RRR store: flat (uint32 arena) or coded (byte-coded, ~3x smaller; same seeds)")
 		concurrency  = flag.Int("concurrency", 2, "queries executing at once")
 		queue        = flag.Int("queue", 16, "queries waiting for a slot before 429s start")
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-query budget (queue wait + sketch build)")
@@ -53,6 +54,10 @@ func main() {
 		fatal("%v", err)
 	}
 	sched, err := influmax.ParseSchedule(*schedule)
+	if err != nil {
+		fatal("%v", err)
+	}
+	store, err := influmax.ParseStoreKind(*storeStr)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -71,14 +76,14 @@ func main() {
 		GraphDigest: g.Digest(), Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
 	}
 	reg := influmax.NewMetricsRegistry()
-	sketch, err := prepareSketch(g, key, *snapshot, *workers, sched, reg)
+	sketch, err := prepareSketch(g, key, *snapshot, *workers, sched, store, reg)
 	if err != nil {
 		fatal("%v", err)
 	}
 
 	srv, err := influmax.Serve(influmax.ServeConfig{
 		Graph: g, Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
-		Workers: *workers, Schedule: sched, MaxConcurrent: *concurrency, MaxQueue: *queue,
+		Workers: *workers, Schedule: sched, Store: store, MaxConcurrent: *concurrency, MaxQueue: *queue,
 		QueryTimeout: *timeout, Metrics: reg, EnablePprof: *pprofOn,
 		Sketch: sketch,
 	})
@@ -108,12 +113,13 @@ func main() {
 }
 
 // prepareSketch resolves the resident sketch: a valid snapshot at path
-// warm-starts the server; otherwise the sketch is sampled and — when a
-// path was given — persisted for the next start.
-func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, workers int, sched influmax.Schedule, reg *influmax.MetricsRegistry) (*influmax.Sketch, error) {
+// warm-starts the server (transcoded into the -store kind if it was
+// written with the other one); otherwise the sketch is sampled and — when
+// a path was given — persisted for the next start.
+func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, workers int, sched influmax.Schedule, store influmax.StoreKind, reg *influmax.MetricsRegistry) (*influmax.Sketch, error) {
 	if path != "" {
 		if _, err := os.Stat(path); err == nil {
-			s, err := influmax.LoadSnapshot(path, g, workers)
+			s, err := influmax.LoadSnapshot(path, g, workers, store)
 			if err != nil {
 				return nil, err
 			}
@@ -121,12 +127,12 @@ func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, worke
 				return nil, fmt.Errorf("snapshot %s was sampled with (%s), flags say (%s); delete it or match the flags",
 					path, s.Key, key)
 			}
-			fmt.Fprintf(os.Stderr, "immserve: sketch warm-started from %s (theta %d)\n", path, s.Theta)
+			fmt.Fprintf(os.Stderr, "immserve: sketch warm-started from %s (theta %d, store %s)\n", path, s.Theta, s.Store())
 			return s, nil
 		}
 	}
 	start := time.Now()
-	s, err := influmax.BuildSketch(g, key, workers, sched, reg)
+	s, err := influmax.BuildSketch(g, key, workers, sched, store, reg)
 	if err != nil {
 		return nil, err
 	}

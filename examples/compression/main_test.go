@@ -1,0 +1,21 @@
+package main
+
+import "os"
+
+// Example pins the demonstration's output: the byte-coded store is a pure
+// re-representation of the same samples, so the seeds and theta printed
+// are exact, and the footprint ratio clears the 3x floor the benchmark
+// gate enforces (exact byte counts shift with sampling details, so only
+// the predicates are pinned).
+func Example() {
+	if err := run(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// flat : theta 1171, seeds [1138 507 920 1071 1110]
+	// coded: theta 1171, seeds [1138 507 920 1071 1110]
+	// seed sets identical: true
+	// same samples generated: true
+	// flat bytes match across runs: true
+	// coded store at least 3x smaller: true
+}

@@ -42,20 +42,20 @@ func run(w io.Writer) error {
 	g.AssignUniform(11)
 
 	// Build the sketch: the full IMM estimation + sampling pipeline at
-	// K = kMax, compressed and indexed. This is the expensive step the
+	// K = kMax, byte-coded and indexed. This is the expensive step the
 	// serving layer exists to amortize.
 	key := influmax.SketchKey{
 		GraphDigest: g.Digest(), Model: influmax.IC,
 		Epsilon: 0.5, KMax: 25, Seed: 42,
 	}
-	sketch, err := influmax.BuildSketch(g, key, 2, influmax.ScheduleDynamic, nil)
+	sketch, err := influmax.BuildSketch(g, key, 2, influmax.ScheduleDynamic, influmax.StoreFlat, nil)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "sketch built: %d samples for kMax %d (source %q)\n",
 		sketch.Theta, key.KMax, sketch.Source)
 
-	// Persist and reload: the snapshot carries the compressed samples,
+	// Persist and reload: the snapshot carries the byte-coded samples,
 	// the incidence index, and the graph digest that guards against
 	// serving it on the wrong graph.
 	dir, err := os.MkdirTemp("", "immserve-example")
@@ -67,7 +67,7 @@ func run(w io.Writer) error {
 	if err := influmax.SaveSnapshot(path, sketch); err != nil {
 		return err
 	}
-	loaded, err := influmax.LoadSnapshot(path, g, 2)
+	loaded, err := influmax.LoadSnapshot(path, g, 2, influmax.StoreFlat)
 	if err != nil {
 		return err
 	}

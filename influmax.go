@@ -89,6 +89,32 @@ func ParseSchedule(s string) (Schedule, error) {
 	return 0, fmt.Errorf("unknown schedule %q (want dynamic or static)", s)
 }
 
+// StoreKind selects the in-memory representation of the finished RRR
+// sample store — the memory/decode-time trade-off of DESIGN.md §13. The
+// selected seeds are identical for every kind.
+type StoreKind = imm.StoreKind
+
+// RRR store kinds.
+const (
+	// StoreFlat is the compact uint32 arena (4 B/entry + 8 B/sample) —
+	// the default.
+	StoreFlat = imm.StoreFlat
+	// StoreCoded is the byte-coded store: frequency-ordered relabeling +
+	// delta+varint payloads, >= 3x smaller on clustered graphs.
+	StoreCoded = imm.StoreCoded
+)
+
+// ParseStoreKind parses "flat" or "coded" (case-insensitive).
+func ParseStoreKind(s string) (StoreKind, error) {
+	switch strings.ToLower(s) {
+	case "flat":
+		return StoreFlat, nil
+	case "coded":
+		return StoreCoded, nil
+	}
+	return 0, fmt.Errorf("unknown store kind %q (want flat or coded)", s)
+}
+
 // Phase identifies a section of Algorithm 1 in a Result's timing
 // breakdown (the stacked bars of the paper's figures).
 type Phase = trace.Phase
@@ -376,7 +402,7 @@ type (
 	// SeedServer is the long-running service: mount Handler, or Start a
 	// listener, and Shutdown to drain.
 	SeedServer = server.Server
-	// Sketch is an immutable query-ready RRR sample store (compressed
+	// Sketch is an immutable query-ready RRR sample store (byte-coded
 	// samples + inverted incidence index) serving any k <= its KMax.
 	Sketch = server.Sketch
 	// SketchKey identifies a sketch configuration: graph digest plus the
@@ -391,11 +417,12 @@ type (
 func Serve(cfg ServeConfig) (*SeedServer, error) { return server.New(cfg) }
 
 // BuildSketch samples a query-ready sketch for key over g — the full IMM
-// estimation + sampling pipeline at K = key.KMax, compressed and indexed.
-// schedule picks the sampling-loop schedule (the sketch content does not
-// depend on it); reg may be nil.
-func BuildSketch(g *Graph, key SketchKey, workers int, schedule Schedule, reg *MetricsRegistry) (*Sketch, error) {
-	return server.BuildSketch(g, key, workers, schedule, reg)
+// estimation + sampling pipeline at K = key.KMax, transcoded into the
+// byte-coded store selected by store and indexed. schedule picks the
+// sampling-loop schedule (neither the sketch content nor the query seeds
+// depend on it or on store); reg may be nil.
+func BuildSketch(g *Graph, key SketchKey, workers int, schedule Schedule, store StoreKind, reg *MetricsRegistry) (*Sketch, error) {
+	return server.BuildSketch(g, key, workers, schedule, store, reg)
 }
 
 // SaveSnapshot persists a sketch at path in the versioned, checksummed
@@ -403,9 +430,11 @@ func BuildSketch(g *Graph, key SketchKey, workers int, schedule Schedule, reg *M
 func SaveSnapshot(path string, s *Sketch) error { return s.Save(path) }
 
 // LoadSnapshot reads a sketch snapshot and validates it against g (the
-// stored graph digest must match). The warm-start path of cmd/immserve.
-func LoadSnapshot(path string, g *Graph, workers int) (*Sketch, error) {
-	return server.LoadSketch(path, g, workers, 0)
+// stored graph digest must match), transcoding it into the store kind the
+// caller wants to serve if the snapshot was written with the other one.
+// The warm-start path of cmd/immserve.
+func LoadSnapshot(path string, g *Graph, workers int, store StoreKind) (*Sketch, error) {
+	return server.LoadSketch(path, g, workers, store, 0)
 }
 
 // StartPprofServer serves net/http/pprof endpoints on addr (e.g.

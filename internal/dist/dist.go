@@ -37,6 +37,13 @@ type Options struct {
 	// work-stealing by default; LeapFrog forces static). Must agree across
 	// ranks, though in PerSample mode the result does not depend on it.
 	Schedule imm.Schedule
+	// Store selects each rank's resident store for the final selection:
+	// imm.StoreCoded transcodes the rank's shard into the byte-coded store
+	// after sampling, under a rank-local frequency relabeling (each shard
+	// gets its own table — the labeling never crosses the wire, only
+	// original-id counters do, so the seeds are unchanged). Must agree
+	// across ranks.
+	Store imm.StoreKind
 	// L is the confidence exponent (0 means 1).
 	L float64
 }
@@ -57,8 +64,13 @@ type Result struct {
 	LocalSamples int
 	// LowerBound is the martingale lower bound on OPT.
 	LowerBound float64
+	// Store is the representation this rank's final selection ran over.
+	Store imm.StoreKind
 	// StoreBytes is this rank's RRR store footprint.
 	StoreBytes int64
+	// FlatStoreBytes is what this rank's shard costs in the flat layout
+	// (equal to StoreBytes for flat runs).
+	FlatStoreBytes int64
 	// IndexBytes is this rank's inverted-incidence index footprint (the
 	// transient lookup structure of the final seed selection).
 	IndexBytes int64
@@ -88,7 +100,8 @@ type state struct {
 	g       *graph.Graph
 	opt     Options
 	col     *rrr.Collection
-	global  int64 // samples generated across all ranks so far
+	coded   *rrr.CodedCollection // non-nil once the shard is transcoded (Store == imm.StoreCoded)
+	global  int64                // samples generated across all ranks so far
 	threads int
 
 	sampler *imm.BatchSampler // intra-rank multithreaded sampling machinery
@@ -107,12 +120,12 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 			opt.ThreadsPerRank = 1
 		}
 	}
-	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1}
+	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1, Store: opt.Store}
 	if err := validate(iopt, g.NumVertices()); err != nil {
 		return nil, err
 	}
 
-	res := &Result{Ranks: c.Size(), Rank: c.Rank(), ThreadsPerRank: opt.ThreadsPerRank, FailedRank: -1}
+	res := &Result{Ranks: c.Size(), Rank: c.Rank(), ThreadsPerRank: opt.ThreadsPerRank, Store: opt.Store, FailedRank: -1}
 	startOther := time.Now()
 	st := &state{
 		c: c, g: g, opt: opt,
@@ -145,9 +158,17 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 	// shard this rank holds.
 	finish := func() {
 		res.SamplesGenerated = st.global
-		res.LocalSamples = st.col.Count()
-		res.StoreBytes = st.col.Bytes()
-		res.LocalWork = st.col.TotalSize()
+		if st.coded != nil {
+			res.LocalSamples = st.coded.Count()
+			res.StoreBytes = st.coded.Bytes()
+			res.FlatStoreBytes = st.coded.FlatBytes()
+			res.LocalWork = st.coded.TotalSize()
+		} else {
+			res.LocalSamples = st.col.Count()
+			res.StoreBytes = st.col.Bytes()
+			res.FlatStoreBytes = st.col.Bytes()
+			res.LocalWork = st.col.TotalSize()
+		}
 		res.CommStats = mpi.StatsOf(c)
 	}
 	// degraded converts a rank failure into a partial-result-with-error
@@ -199,12 +220,29 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 		return degraded(phaseErr)
 	}
 
+	// Transcode: once the final theta samples exist, a coded run
+	// re-expresses this rank's shard under its own frequency relabeling
+	// and drops the flat arena. Local-only — the tables never cross the
+	// wire; collectives exchange original-id counters either way.
+	// Accounted to Other, like the imm pipeline's transcode.
+	if opt.Store == imm.StoreCoded {
+		startT := time.Now()
+		relab := rrr.NewRelabeling(rrr.IncidenceOf(st.col, st.threads))
+		st.coded = rrr.FromCollection(st.col, relab)
+		st.col = nil
+		res.Phases.Add(trace.Other, time.Since(startT))
+	}
+
 	// Phase 2.5: each rank inverts its local shard of R into the
 	// vertex->samples index the purge step looks up (index builds inside
 	// the estimation loop are accounted to Estimation, as in imm.Run).
 	var idx *rrr.Index
 	res.Phases.Measure(trace.IndexBuild, func() {
-		idx = rrr.BuildIndex(st.col, st.threads)
+		if st.coded != nil {
+			idx = rrr.BuildIndexCoded(st.coded, st.threads)
+		} else {
+			idx = rrr.BuildIndex(st.col, st.threads)
+		}
 	})
 	res.IndexBytes = idx.Bytes()
 
@@ -234,6 +272,9 @@ func validate(o imm.Options, n int) error {
 	}
 	if o.Epsilon <= 0 || o.Epsilon >= 1 {
 		return fmt.Errorf("dist: epsilon = %v out of (0, 1)", o.Epsilon)
+	}
+	if o.Store > imm.StoreCoded {
+		return fmt.Errorf("dist: unknown store kind %d", uint8(o.Store))
 	}
 	return nil
 }
@@ -271,17 +312,31 @@ func (st *state) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, erro
 	n := st.g.NumVertices()
 	k := st.opt.K
 	counter := make([]int64, n)
-	st.countLocal(counter, nil)
+	if st.coded != nil {
+		// The shard index's degree column is exactly the population count
+		// CountRange would produce, with no store decode at all.
+		for v := 0; v < n; v++ {
+			counter[v] = idx.Degree(graph.Vertex(v))
+		}
+	} else {
+		st.countLocal(counter, nil)
+	}
 	if err := mpi.AllReduce(st.c, counter, mpi.Sum); err != nil {
 		return nil, 0, err
 	}
 
-	covered := rrr.NewBitset(st.col.Count())
+	covered := rrr.NewBitset(st.localCount())
 	chosen := make([]bool, n)
 	seeds := make([]graph.Vertex, 0, k)
 	var coveredCount int64
 	dec := make([]int64, n)
 	var matched []int32
+	// Coded shards decode purged samples once, sequentially, into a flat
+	// scratch arena; the parallel decrement pass then filter-scans each
+	// decoded sample (members arrive in code order — the decrements
+	// commute, so the counters match the flat path exactly).
+	var arenaVerts []graph.Vertex
+	arenaOffs := []int64{0}
 	for len(seeds) < k {
 		// Identical argmax on every rank: deterministic tie-breaking.
 		best, arg := int64(-1), -1
@@ -314,14 +369,33 @@ func (st *state) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, erro
 		if p > n {
 			p = n
 		}
-		par.Run(p, func(rank int) {
-			vl, vh := par.Interval(n, p, rank)
+		if st.coded != nil {
+			arenaVerts = arenaVerts[:0]
+			arenaOffs = arenaOffs[:1]
 			for _, j := range matched {
-				for _, u := range st.col.RangeOf(int(j), graph.Vertex(vl), graph.Vertex(vh)) {
-					dec[u]++
-				}
+				arenaVerts = st.coded.AppendMembers(int(j), arenaVerts)
+				arenaOffs = append(arenaOffs, int64(len(arenaVerts)))
 			}
-		})
+			par.Run(p, func(rank int) {
+				vl, vh := par.Interval(n, p, rank)
+				for s := 0; s < len(arenaOffs)-1; s++ {
+					for _, u := range arenaVerts[arenaOffs[s]:arenaOffs[s+1]] {
+						if u >= graph.Vertex(vl) && u < graph.Vertex(vh) {
+							dec[u]++
+						}
+					}
+				}
+			})
+		} else {
+			par.Run(p, func(rank int) {
+				vl, vh := par.Interval(n, p, rank)
+				for _, j := range matched {
+					for _, u := range st.col.RangeOf(int(j), graph.Vertex(vl), graph.Vertex(vh)) {
+						dec[u]++
+					}
+				}
+			})
+		}
 		if err := mpi.AllReduce(st.c, dec, mpi.Sum); err != nil {
 			return seeds, coveredCount, err
 		}
@@ -330,6 +404,15 @@ func (st *state) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, erro
 		}
 	}
 	return seeds, coveredCount, nil
+}
+
+// localCount returns the number of samples this rank's resident shard
+// holds, whichever store it lives in.
+func (st *state) localCount() int {
+	if st.coded != nil {
+		return st.coded.Count()
+	}
+	return st.col.Count()
 }
 
 // countLocal fills counter with this rank's per-vertex sample membership

@@ -62,6 +62,11 @@ type PartOptions struct {
 	// work-stealing by default; the per-wave sorting work is as skewed as
 	// the RRR set sizes themselves).
 	Schedule imm.Schedule
+	// Store selects each rank's resident store for the final selection,
+	// exactly as dist.Options.Store: imm.StoreCoded transcodes the rank's
+	// vertex-partitioned shard after sampling under a rank-local frequency
+	// relabeling. Must agree across ranks; the seeds do not depend on it.
+	Store imm.StoreKind
 }
 
 // PartResult reports a graph-partitioned run.
@@ -77,8 +82,13 @@ type PartResult struct {
 	SamplesGenerated int64
 	// OwnedLo, OwnedHi is this rank's vertex interval.
 	OwnedLo, OwnedHi graph.Vertex
+	// Store is the representation this rank's final selection ran over.
+	Store imm.StoreKind
 	// StoreBytes is this rank's partition of the RRR store.
 	StoreBytes int64
+	// FlatStoreBytes is what this rank's partition costs in the flat
+	// layout (equal to StoreBytes for flat runs).
+	FlatStoreBytes int64
 	// IndexBytes is this rank's inverted-incidence index footprint over
 	// its local shard (owned-interval members only).
 	IndexBytes int64
@@ -192,8 +202,9 @@ type partState struct {
 	c      mpi.Comm
 	part   *partition
 	opt    PartOptions
-	col    *rrr.Collection // vertex-partitioned: sample -> owned members
-	global int64           // samples generated so far
+	col    *rrr.Collection      // vertex-partitioned: sample -> owned members
+	coded  *rrr.CodedCollection // non-nil once the shard is transcoded (Store == imm.StoreCoded)
+	global int64                // samples generated so far
 
 	// batch scratch
 	visited []bool // [batch * ownedWidth] bitfield, rebuilt per wave
@@ -213,11 +224,11 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 	if opt.Threads <= 0 {
 		opt.Threads = 1
 	}
-	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1}
+	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1, Store: opt.Store}
 	if err := validate(iopt, g.NumVertices()); err != nil {
 		return nil, err
 	}
-	res := &PartResult{Ranks: c.Size(), FailedRank: -1}
+	res := &PartResult{Ranks: c.Size(), Store: opt.Store, FailedRank: -1}
 	startOther := time.Now()
 	st := &partState{
 		c:    c,
@@ -234,7 +245,13 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 	// partial result together with the typed error.
 	finish := func() {
 		res.SamplesGenerated = st.global
-		res.StoreBytes = st.col.Bytes()
+		if st.coded != nil {
+			res.StoreBytes = st.coded.Bytes()
+			res.FlatStoreBytes = st.coded.FlatBytes()
+		} else {
+			res.StoreBytes = st.col.Bytes()
+			res.FlatStoreBytes = st.col.Bytes()
+		}
 		res.CommStats = mpi.StatsOf(c)
 	}
 	degraded := func(err error) (*PartResult, error) {
@@ -279,11 +296,26 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 		return degraded(phaseErr)
 	}
 
+	// Transcode: a coded run re-expresses this rank's vertex-partitioned
+	// shard under its own frequency relabeling and drops the flat arena
+	// (rank-local, accounted to Other — see dist.Run).
+	if opt.Store == imm.StoreCoded {
+		startT := time.Now()
+		relab := rrr.NewRelabeling(rrr.IncidenceOf(st.col, opt.Threads))
+		st.coded = rrr.FromCollection(st.col, relab)
+		st.col = nil
+		res.Phases.Add(trace.Other, time.Since(startT))
+	}
+
 	// Each rank inverts its local shard (samples restricted to the owned
 	// vertex interval) so the seed owner's purge enumeration is a lookup.
 	var idx *rrr.Index
 	res.Phases.Measure(trace.IndexBuild, func() {
-		idx = rrr.BuildIndex(st.col, opt.Threads)
+		if st.coded != nil {
+			idx = rrr.BuildIndexCoded(st.coded, opt.Threads)
+		} else {
+			idx = rrr.BuildIndex(st.col, opt.Threads)
+		}
 	})
 	res.IndexBytes = idx.Bytes()
 
@@ -459,6 +491,15 @@ func (st *partState) selectSeeds() ([]graph.Vertex, int64, error) {
 	return st.selectSeedsIndexed(rrr.BuildIndex(st.col, st.opt.Threads))
 }
 
+// localCount returns the number of samples this rank's resident shard
+// holds, whichever store it lives in.
+func (st *partState) localCount() int {
+	if st.coded != nil {
+		return st.coded.Count()
+	}
+	return st.col.Count()
+}
+
 // selectSeedsIndexed is the vertex-partitioned Algorithm 4: counters are
 // local to each interval, the argmax is a small AllGather, and only the
 // owner of the chosen seed knows (and broadcasts) which samples it covers
@@ -468,12 +509,22 @@ func (st *partState) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, 
 	p := st.part
 	width := int(p.hi - p.lo)
 	counter := make([]int32, p.n) // only [lo, hi) is used
-	covered := rrr.NewBitset(st.col.Count())
-	st.col.CountRange(counter, nil, p.lo, p.hi)
+	if st.coded != nil {
+		// The shard index's degree column equals the CountRange population
+		// count over the owned interval (members outside it were never
+		// stored in this rank's shard).
+		for v := p.lo; v < p.hi; v++ {
+			counter[v] = int32(idx.Degree(v))
+		}
+	} else {
+		st.col.CountRange(counter, nil, p.lo, p.hi)
+	}
+	covered := rrr.NewBitset(st.localCount())
 	chosen := make([]bool, width)
 
 	seeds := make([]graph.Vertex, 0, st.opt.K)
 	var coveredCount int64
+	var decodeBuf []graph.Vertex
 	for len(seeds) < st.opt.K {
 		// Local best.
 		best, arg := int64(-1), int64(-1)
@@ -524,9 +575,21 @@ func (st *partState) selectSeedsIndexed(idx *rrr.Index) ([]graph.Vertex, int64, 
 		if err != nil {
 			return seeds, coveredCount, err
 		}
-		// Everyone purges those samples from their interval's counters.
+		// Everyone purges those samples from their interval's counters. A
+		// coded shard decodes each matched sample and filter-scans the
+		// owned interval; decrements commute, so the counters match the
+		// flat path exactly.
 		for _, j := range matched {
 			covered.Set(int(j))
+			if st.coded != nil {
+				decodeBuf = st.coded.AppendMembers(int(j), decodeBuf[:0])
+				for _, u := range decodeBuf {
+					if u >= p.lo && u < p.hi {
+						counter[u]--
+					}
+				}
+				continue
+			}
 			for _, u := range st.col.RangeOf(int(j), p.lo, p.hi) {
 				counter[u]--
 			}

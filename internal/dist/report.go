@@ -9,14 +9,15 @@ import (
 // RankReport converts this rank's result into its metrics sub-report.
 func (r *Result) RankReport() metrics.RankReport {
 	return metrics.RankReport{
-		Rank:         r.Rank,
-		LocalSamples: int64(r.LocalSamples),
-		LocalWork:    r.LocalWork,
-		StoreBytes:   r.StoreBytes,
-		IndexBytes:   r.IndexBytes,
-		PhaseSeconds: r.Phases.Seconds(),
-		TotalSeconds: r.Phases.Total().Seconds(),
-		Comm:         r.CommStats.Map(),
+		Rank:           r.Rank,
+		LocalSamples:   int64(r.LocalSamples),
+		LocalWork:      r.LocalWork,
+		StoreBytes:     r.StoreBytes,
+		FlatStoreBytes: r.FlatStoreBytes,
+		IndexBytes:     r.IndexBytes,
+		PhaseSeconds:   r.Phases.Seconds(),
+		TotalSeconds:   r.Phases.Total().Seconds(),
+		Comm:           r.CommStats.Map(),
 	}
 }
 
@@ -67,12 +68,14 @@ func buildReport(opt Options, root *Result, perRank []metrics.RankReport) *metri
 	rep.EstimatedSpread = root.EstimatedSpread
 	rep.HeapBytes = trace.HeapAlloc()
 	rep.PerRank = perRank
+	rep.Store = root.Store.String()
 
 	work := make([]int64, len(perRank))
 	h := metrics.NewHistogram()
 	comm := make(map[string]int64)
 	for r, sub := range perRank {
 		rep.StoreBytes += sub.StoreBytes
+		rep.FlatStoreBytes += sub.FlatStoreBytes
 		rep.IndexBytes += sub.IndexBytes
 		work[r] = sub.LocalWork
 		h.Observe(sub.LocalWork)
@@ -114,7 +117,9 @@ func ReportPartitioned(opt PartOptions, res *PartResult) *metrics.RunReport {
 	rep.Seeds = res.Seeds
 	rep.CoverageFraction = res.CoverageFraction
 	rep.EstimatedSpread = res.EstimatedSpread
+	rep.Store = res.Store.String()
 	rep.StoreBytes = res.StoreBytes
+	rep.FlatStoreBytes = res.FlatStoreBytes
 	rep.IndexBytes = res.IndexBytes
 	rep.HeapBytes = trace.HeapAlloc()
 	if comm := res.CommStats.Map(); comm != nil {

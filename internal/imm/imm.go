@@ -30,8 +30,14 @@ type Result struct {
 	SamplesGenerated int
 	// LowerBound is the martingale lower bound on OPT found by Algorithm 2.
 	LowerBound float64
+	// Store is the representation the final seed selection ran over.
+	Store StoreKind
 	// StoreBytes is the RRR store footprint (the Table 2 memory column).
 	StoreBytes int64
+	// FlatStoreBytes is what the same samples cost in the flat arena layout
+	// (4 bytes per entry + 8 per sample offset) — equal to StoreBytes for
+	// flat runs, the compression-ratio denominator for coded ones.
+	FlatStoreBytes int64
 	// IndexBytes is the footprint of the inverted incidence index built for
 	// the final seed selection (zero for the baseline, whose NaiveStore
 	// carries the incidence permanently inside StoreBytes).
@@ -49,26 +55,24 @@ type Result struct {
 }
 
 // Run executes parallel IMM (Algorithm 1) over g: IMMopt when
-// opt.Workers == 1, IMMmt when opt.Workers > 1.
+// opt.Workers == 1, IMMmt when opt.Workers > 1. opt.Store picks the
+// representation the final seed selection runs over; the seeds are
+// identical either way.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if opt.Store == StoreCoded {
+		res, _, _, err := RunSketch(g, opt)
+		return res, err
+	}
 	res, _, _, err := RunCollect(g, opt)
 	return res, err
 }
 
-// RunCollect executes the same pipeline as Run but additionally returns
-// the finished sample collection and the inverted incidence index the
-// final selection used — the resident sketch a serving process keeps so
-// later queries for any k <= opt.K skip sampling entirely. The returned
-// collection and index must be treated as immutable if they are shared.
-func RunCollect(g *graph.Graph, opt Options) (*Result, *rrr.Collection, *rrr.Index, error) {
-	opt = opt.withDefaults()
-	if err := opt.validate(g.NumVertices()); err != nil {
-		return nil, nil, nil, err
-	}
-	res := &Result{Algorithm: "IMMopt", Workers: opt.Workers}
-	if opt.Workers > 1 {
-		res.Algorithm = "IMMmt"
-	}
+// samplePipeline runs phases 1-2 — theta estimation (Algorithm 2) and
+// sampling to theta (Algorithm 3) — into a flat arena, filling res's
+// theta bookkeeping. Both store kinds share this front half: estimation
+// appends and re-selects incrementally, which only the flat arena
+// supports, so a coded run transcodes once after the final samples exist.
+func samplePipeline(g *graph.Graph, opt Options, res *Result) (*rrr.Collection, *BatchSampler, Analysis) {
 	startOther := time.Now()
 	n := g.NumVertices()
 	col := rrr.NewCollection(n)
@@ -98,6 +102,44 @@ func RunCollect(g *graph.Graph, opt Options) (*Result, *rrr.Collection, *rrr.Ind
 	res.Phases.Measure(trace.Sampling, func() {
 		st.Sample(col, int(res.Theta)-col.Count())
 	})
+	return col, st, tm
+}
+
+// finishRun records the bookkeeping every pipeline tail shares: sampling
+// balance and the store/balance gauges.
+func finishRun(res *Result, st *BatchSampler, opt Options) {
+	res.WorkBalance = st.WorkBalance()
+	res.WorkerWork = append([]int64(nil), st.Work...)
+	if opt.Metrics != nil {
+		// Permille, because gauges are integers: 1000 = perfectly balanced.
+		opt.Metrics.Gauge("rrr/balance").Set(int64(res.WorkBalance * 1000))
+		opt.Metrics.Gauge("rrr/store-bytes").Set(res.StoreBytes)
+	}
+}
+
+func newResult(opt Options) *Result {
+	res := &Result{Algorithm: "IMMopt", Workers: opt.Workers, Store: opt.Store}
+	if opt.Workers > 1 {
+		res.Algorithm = "IMMmt"
+	}
+	return res
+}
+
+// RunCollect executes the same pipeline as Run but additionally returns
+// the finished sample collection and the inverted incidence index the
+// final selection used — the resident sketch a serving process keeps so
+// later queries for any k <= opt.K skip sampling entirely. The returned
+// collection and index must be treated as immutable if they are shared.
+// RunCollect always works on the flat arena (opt.Store is ignored);
+// callers that want the byte-coded store use RunSketch.
+func RunCollect(g *graph.Graph, opt Options) (*Result, *rrr.Collection, *rrr.Index, error) {
+	opt = opt.withDefaults()
+	opt.Store = StoreFlat
+	if err := opt.validate(g.NumVertices()); err != nil {
+		return nil, nil, nil, err
+	}
+	res := newResult(opt)
+	col, st, tm := samplePipeline(g, opt, res)
 
 	// Phase 2.5: invert the finished collection into the vertex->samples
 	// index the purge step looks up. Builds inside the estimation loop are
@@ -124,13 +166,63 @@ func RunCollect(g *graph.Graph, opt Options) (*Result, *rrr.Collection, *rrr.Ind
 
 	res.SamplesGenerated = col.Count()
 	res.StoreBytes = col.Bytes()
-	res.WorkBalance = st.WorkBalance()
-	res.WorkerWork = append([]int64(nil), st.Work...)
-	if opt.Metrics != nil {
-		// Permille, because gauges are integers: 1000 = perfectly balanced.
-		opt.Metrics.Gauge("rrr/balance").Set(int64(res.WorkBalance * 1000))
-	}
+	res.FlatStoreBytes = col.Bytes()
+	finishRun(res, st, opt)
 	return res, col, idx, nil
+}
+
+// RunSketch executes the pipeline with the finished samples transcoded
+// into a byte-coded store before index build and selection, returning the
+// coded collection and its index — the resident sketch a serving process
+// keeps. opt.Store picks the labeling: StoreCoded transcodes under the
+// frequency-ordered relabeling (DESIGN.md §13); StoreFlat keeps the
+// identity labeling, which preserves per-member delta coding but no
+// reordering. Either way the flat arena is dropped after transcoding and
+// the seeds are byte-identical to RunCollect over the same options. The
+// transcode (incidence count, relabel-table build, re-encode) is
+// accounted to the Other phase.
+func RunSketch(g *graph.Graph, opt Options) (*Result, *rrr.CodedCollection, *rrr.Index, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(g.NumVertices()); err != nil {
+		return nil, nil, nil, err
+	}
+	res := newResult(opt)
+	col, st, tm := samplePipeline(g, opt, res)
+
+	var coded *rrr.CodedCollection
+	startT := time.Now()
+	if opt.Store == StoreCoded {
+		relab := rrr.NewRelabeling(rrr.IncidenceOf(col, opt.Workers))
+		coded = rrr.FromCollection(col, relab)
+	} else {
+		coded = rrr.FromCollection(col, nil)
+	}
+	res.FlatStoreBytes = col.Bytes()
+	col = nil // drop the flat arena; the coded store is what is kept
+	res.Phases.Add(trace.Other, time.Since(startT))
+
+	var idx *rrr.Index
+	res.Phases.Measure(trace.IndexBuild, func() {
+		idx = rrr.BuildIndexCoded(coded, opt.Workers)
+	})
+	res.IndexBytes = idx.Bytes()
+	if opt.Metrics != nil {
+		opt.Metrics.Gauge("rrr/index-bytes").Set(idx.Bytes())
+	}
+
+	res.Phases.Measure(trace.SelectSeeds, func() {
+		seeds, cov := SelectSeedsSketch(coded, idx, opt.K, opt.Workers)
+		res.Seeds = seeds
+		if c := coded.Count(); c > 0 {
+			res.CoverageFraction = float64(cov) / float64(c)
+		}
+		res.EstimatedSpread = res.CoverageFraction * tm.N()
+	})
+
+	res.SamplesGenerated = coded.Count()
+	res.StoreBytes = coded.Bytes()
+	finishRun(res, st, opt)
+	return res, coded, idx, nil
 }
 
 // RunBaseline executes the sequential Tang-style baseline ("IMM" in

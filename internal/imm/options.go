@@ -87,6 +87,36 @@ func (s Schedule) String() string {
 	return fmt.Sprintf("Schedule(%d)", uint8(s))
 }
 
+// StoreKind selects the in-memory representation of the finished RRR
+// sample collection — the store the final seed selection runs over.
+type StoreKind uint8
+
+const (
+	// StoreFlat keeps the compact one-directional uint32 arena
+	// (rrr.Collection): 4 bytes per entry plus 8 bytes per sample, binary-
+	// searchable, the paper's Section 3.1 layout. This is the default.
+	StoreFlat StoreKind = iota
+	// StoreCoded transcodes the finished samples into the byte-coded store
+	// (rrr.CodedCollection): frequency-ordered relabeling plus delta+varint
+	// payloads, >= 3x smaller on clustered graphs at a bounded selection
+	// slowdown (DESIGN.md §13). Selection output is byte-identical to
+	// StoreFlat; only the memory/time trade-off changes. Estimation and
+	// sampling always run on the flat arena — the transcode happens once,
+	// after the final theta samples exist.
+	StoreCoded
+)
+
+// String names the store kind, matching the CLI -store flag values.
+func (s StoreKind) String() string {
+	switch s {
+	case StoreFlat:
+		return "flat"
+	case StoreCoded:
+		return "coded"
+	}
+	return fmt.Sprintf("StoreKind(%d)", uint8(s))
+}
+
 // Options configures an IMM run.
 type Options struct {
 	// K is the seed-set cardinality.
@@ -107,6 +137,10 @@ type Options struct {
 	// default; see ScheduleDynamic for when the two produce identical
 	// collections).
 	Schedule Schedule
+	// Store selects the representation of the finished sample collection
+	// (flat arena by default; StoreCoded trades decode time during seed
+	// selection for a >= 3x smaller store). Seeds are identical either way.
+	Store StoreKind
 	// L is the confidence exponent: the guarantee holds with probability
 	// at least 1 - 1/n^L. Zero means the customary 1.
 	L float64
@@ -148,6 +182,9 @@ func (o Options) validate(n int) error {
 	}
 	if o.Schedule > ScheduleStatic {
 		return fmt.Errorf("imm: unknown schedule %d", uint8(o.Schedule))
+	}
+	if o.Store > StoreCoded {
+		return fmt.Errorf("imm: unknown store kind %d", uint8(o.Store))
 	}
 	return nil
 }

@@ -23,7 +23,9 @@ func (r *Result) Report(opt Options) *metrics.RunReport {
 	rep.Seeds = r.Seeds
 	rep.CoverageFraction = r.CoverageFraction
 	rep.EstimatedSpread = r.EstimatedSpread
+	rep.Store = r.Store.String()
 	rep.StoreBytes = r.StoreBytes
+	rep.FlatStoreBytes = r.FlatStoreBytes
 	rep.IndexBytes = r.IndexBytes
 	rep.HeapBytes = trace.HeapAlloc()
 	if len(r.WorkerWork) > 0 {

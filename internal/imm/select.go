@@ -1,8 +1,6 @@
 package imm
 
 import (
-	"sort"
-
 	"influmax/internal/graph"
 	"influmax/internal/par"
 	"influmax/internal/rrr"
@@ -108,7 +106,7 @@ func SelectSeedsIndexed(col *rrr.Collection, idx *rrr.Index, k, p int) ([]graph.
 	return seeds, coveredCount
 }
 
-// SelectSeedsSketch is SelectSeedsIndexed over a resident compressed
+// SelectSeedsSketch is SelectSeedsIndexed over a resident byte-coded
 // sketch: col and idx are shared, immutable state (a serving process keeps
 // one copy for all queries), and every call works exclusively on its own
 // copy-on-read state — counters seeded from the index's incidence degrees
@@ -117,8 +115,10 @@ func SelectSeedsIndexed(col *rrr.Collection, idx *rrr.Index, k, p int) ([]graph.
 // concurrent calls never mutate the sketch or each other. The selection
 // loop, argmax discipline and padding-seed behaviour are identical to
 // SelectSeedsIndexed, and so is the output: byte-identical seeds for the
-// same samples at any k and worker count.
-func SelectSeedsSketch(col *rrr.CompressedCollection, idx *rrr.Index, k, p int) ([]graph.Vertex, int64) {
+// same samples at any k and worker count, whatever the store's labeling —
+// counter decrements commute, so the order members decode in is
+// irrelevant (the §13 determinism argument).
+func SelectSeedsSketch(col *rrr.CodedCollection, idx *rrr.Index, k, p int) ([]graph.Vertex, int64) {
 	n := col.NumVertices()
 	if n == 0 {
 		return nil, 0
@@ -147,12 +147,14 @@ func SelectSeedsSketch(col *rrr.CompressedCollection, idx *rrr.Index, k, p int) 
 	bests := make([]int64, p)
 	args := make([]int, p)
 	var matched []int32
-	// Purged samples are delta-decoded once, sequentially, into a flat
-	// scratch arena; the parallel decrement pass then binary-searches each
-	// decoded sample for its vertex interval, exactly like the plain
-	// store's RangeOf.
-	var arenaVerts []graph.Vertex
-	arenaOffs := []int64{0}
+	// Purge scratch: each worker decodes its share of the matched samples
+	// into a private decrement column (lazily allocated, reused across
+	// iterations), so the expensive varint decode parallelizes; a second
+	// interval-owned pass folds the columns into the shared counters with
+	// no atomics. Integer sums are exact and commutative, so the counters
+	// — and therefore the seeds — are identical to any other decode order
+	// (the §13 determinism argument).
+	decs := make([][]int32, p)
 	for len(seeds) < k {
 		par.Run(p, func(rank int) {
 			vl, vh := par.Interval(n, p, rank)
@@ -187,20 +189,27 @@ func SelectSeedsSketch(col *rrr.CompressedCollection, idx *rrr.Index, k, p int) 
 			covered.Set(int(j))
 			matched = append(matched, j)
 		}
-		arenaVerts = arenaVerts[:0]
-		arenaOffs = arenaOffs[:1]
-		for _, j := range matched {
-			arenaVerts = col.AppendSample(int(j), arenaVerts)
-			arenaOffs = append(arenaOffs, int64(len(arenaVerts)))
-		}
+		par.ForEach(len(matched), p, func(rank, lo, hi int) {
+			d := decs[rank]
+			if d == nil {
+				d = make([]int32, n)
+				decs[rank] = d
+			}
+			for _, j := range matched[lo:hi] {
+				col.AccumMembers(int(j), d)
+			}
+		})
 		par.Run(p, func(rank int) {
 			vl, vh := par.Interval(n, p, rank)
-			for s := 0; s < len(arenaOffs)-1; s++ {
-				seg := arenaVerts[arenaOffs[s]:arenaOffs[s+1]]
-				lo := sort.Search(len(seg), func(i int) bool { return seg[i] >= graph.Vertex(vl) })
-				hi := sort.Search(len(seg), func(i int) bool { return seg[i] >= graph.Vertex(vh) })
-				for _, u := range seg[lo:hi] {
-					counter[u]--
+			for _, d := range decs {
+				if d == nil {
+					continue
+				}
+				for v := vl; v < vh; v++ {
+					if d[v] != 0 {
+						counter[v] -= d[v]
+						d[v] = 0
+					}
 				}
 			}
 		})

@@ -144,28 +144,25 @@ func TestRunRecordsIndex(t *testing.T) {
 }
 
 // TestSelectSeedsSketchMatchesIndexed pins the serving path: selection
-// over the compressed resident sketch (degree-seeded counters, arena
+// over the byte-coded resident sketch (degree-seeded counters, arena
 // purge) must return byte-identical seeds and coverage to
 // SelectSeedsIndexed over the equivalent plain collection, for every
-// queried k and worker count.
+// queried k, worker count and store labeling.
 func TestSelectSeedsSketchMatchesIndexed(t *testing.T) {
 	g := testGraph(77, 200, 1600)
 	col := rrrCollection(g, 0x5e1f, 500)
-	comp := rrr.NewCompressedCollection(g.NumVertices())
-	var buf []graph.Vertex
-	for i := 0; i < col.Count(); i++ {
-		buf = append(buf[:0], col.Sample(i)...)
-		comp.Append(buf)
-	}
 	idx := rrr.BuildIndex(col, 4)
-	cidx := rrr.BuildIndexCompressed(comp, 4)
-	for _, k := range []int{1, 10, 50, 200} {
-		for _, p := range []int{1, 3, 8} {
-			wantSeeds, wantCov := SelectSeedsIndexed(col, idx, k, p)
-			gotSeeds, gotCov := SelectSeedsSketch(comp, cidx, k, p)
-			if !slices.Equal(gotSeeds, wantSeeds) || gotCov != wantCov {
-				t.Fatalf("k=%d p=%d: sketch (%v, %d) != indexed (%v, %d)",
-					k, p, gotSeeds, gotCov, wantSeeds, wantCov)
+	for _, relab := range []*rrr.Relabeling{nil, rrr.NewRelabeling(rrr.IncidenceOf(col, 4))} {
+		coded := rrr.FromCollection(col, relab)
+		cidx := rrr.BuildIndexCoded(coded, 4)
+		for _, k := range []int{1, 10, 50, 200} {
+			for _, p := range []int{1, 3, 8} {
+				wantSeeds, wantCov := SelectSeedsIndexed(col, idx, k, p)
+				gotSeeds, gotCov := SelectSeedsSketch(coded, cidx, k, p)
+				if !slices.Equal(gotSeeds, wantSeeds) || gotCov != wantCov {
+					t.Fatalf("relabeled=%v k=%d p=%d: sketch (%v, %d) != indexed (%v, %d)",
+						relab != nil, k, p, gotSeeds, gotCov, wantSeeds, wantCov)
+				}
 			}
 		}
 	}
@@ -177,13 +174,8 @@ func TestSelectSeedsSketchMatchesIndexed(t *testing.T) {
 func TestSelectSeedsSketchConcurrentReads(t *testing.T) {
 	g := testGraph(88, 120, 900)
 	col := rrrCollection(g, 0xfeed, 300)
-	comp := rrr.NewCompressedCollection(g.NumVertices())
-	var buf []graph.Vertex
-	for i := 0; i < col.Count(); i++ {
-		buf = append(buf[:0], col.Sample(i)...)
-		comp.Append(buf)
-	}
-	idx := rrr.BuildIndexCompressed(comp, 2)
+	comp := rrr.FromCollection(col, rrr.NewRelabeling(rrr.IncidenceOf(col, 2)))
+	idx := rrr.BuildIndexCoded(comp, 2)
 	wantSeeds, wantCov := SelectSeedsSketch(comp, idx, 25, 2)
 
 	const queries = 16

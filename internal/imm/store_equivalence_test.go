@@ -1,0 +1,114 @@
+package imm
+
+import (
+	"slices"
+	"testing"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+)
+
+// TestStoreEquivalence is the acceptance gate of the byte-coded store: over
+// three fixed-seed graphs, the IC, LT and weighted-cascade configurations,
+// and one and four workers, a StoreCoded run must return byte-identical
+// seeds, coverage and theta bookkeeping to the StoreFlat run with the same
+// options. The coded path differs only in the representation the selection
+// reads — the DESIGN.md §13 determinism argument says that cannot move a
+// single seed, and this test is that argument made executable.
+func TestStoreEquivalence(t *testing.T) {
+	type config struct {
+		name  string
+		model diffuse.Model
+		prep  func(*graph.Graph)
+	}
+	configs := []config{
+		{"IC", diffuse.IC, func(*graph.Graph) {}},
+		{"LT", diffuse.LT, func(g *graph.Graph) { g.NormalizeLT() }},
+		{"WC", diffuse.IC, func(g *graph.Graph) { g.AssignWeightedCascade() }},
+	}
+	graphs := []struct {
+		seed uint64
+		n, m int
+	}{
+		{101, 150, 1200},
+		{202, 80, 250},
+		{303, 300, 3000},
+	}
+	for _, gc := range graphs {
+		for _, cfg := range configs {
+			for _, workers := range []int{1, 4} {
+				g := testGraph(gc.seed, gc.n, gc.m)
+				cfg.prep(g)
+				opt := Options{K: 10, Epsilon: 0.5, Model: cfg.model, Workers: workers, Seed: gc.seed}
+
+				opt.Store = StoreFlat
+				flat, err := Run(g, opt)
+				if err != nil {
+					t.Fatalf("graph %d %s w=%d flat: %v", gc.seed, cfg.name, workers, err)
+				}
+				opt.Store = StoreCoded
+				coded, err := Run(g, opt)
+				if err != nil {
+					t.Fatalf("graph %d %s w=%d coded: %v", gc.seed, cfg.name, workers, err)
+				}
+
+				if !slices.Equal(coded.Seeds, flat.Seeds) {
+					t.Fatalf("graph %d %s w=%d: coded seeds %v != flat %v",
+						gc.seed, cfg.name, workers, coded.Seeds, flat.Seeds)
+				}
+				if coded.CoverageFraction != flat.CoverageFraction ||
+					coded.Theta != flat.Theta ||
+					coded.SamplesGenerated != flat.SamplesGenerated {
+					t.Fatalf("graph %d %s w=%d: bookkeeping diverged: coverage %v/%v theta %d/%d samples %d/%d",
+						gc.seed, cfg.name, workers,
+						coded.CoverageFraction, flat.CoverageFraction,
+						coded.Theta, flat.Theta,
+						coded.SamplesGenerated, flat.SamplesGenerated)
+				}
+				// The coded run must actually have compressed: its store is
+				// smaller than the flat layout it reports as denominator, and
+				// that denominator matches the flat run's actual footprint.
+				if coded.Store != StoreCoded || flat.Store != StoreFlat {
+					t.Fatalf("store kinds not stamped: %v / %v", coded.Store, flat.Store)
+				}
+				if coded.FlatStoreBytes != flat.StoreBytes {
+					t.Fatalf("graph %d %s w=%d: coded FlatStoreBytes %d != flat StoreBytes %d",
+						gc.seed, cfg.name, workers, coded.FlatStoreBytes, flat.StoreBytes)
+				}
+				if coded.StoreBytes >= flat.StoreBytes {
+					t.Fatalf("graph %d %s w=%d: coded store %d B not below flat %d B",
+						gc.seed, cfg.name, workers, coded.StoreBytes, flat.StoreBytes)
+				}
+				if coded.IndexBytes != flat.IndexBytes {
+					t.Fatalf("graph %d %s w=%d: index bytes diverged %d != %d (index is label-invariant)",
+						gc.seed, cfg.name, workers, coded.IndexBytes, flat.IndexBytes)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSketchStoreFlatKeepsIdentity checks the StoreFlat sketch path: the
+// resident store is byte-coded but identity-labeled, and still selects the
+// exact flat seeds.
+func TestRunSketchStoreFlatKeepsIdentity(t *testing.T) {
+	g := testGraph(7, 100, 700)
+	opt := Options{K: 6, Epsilon: 0.5, Model: diffuse.IC, Workers: 2, Seed: 7}
+	res, col, idx, err := RunSketch(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Relabeled() {
+		t.Fatal("StoreFlat sketch came back relabeled")
+	}
+	if idx == nil || res.Store != StoreFlat {
+		t.Fatalf("sketch run malformed: idx=%v store=%v", idx, res.Store)
+	}
+	want, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(res.Seeds, want.Seeds) {
+		t.Fatalf("sketch seeds %v != run seeds %v", res.Seeds, want.Seeds)
+	}
+}

@@ -1,0 +1,411 @@
+package rrr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+
+	"influmax/internal/graph"
+)
+
+// CodedCollection stores RRR sets byte-coded: each sample's member list is
+// expressed in code space (an optional frequency-ordered Relabeling, or
+// original ids when relab is nil), sorted ascending, and delta+varint
+// encoded — the first code verbatim, every following code as (gap - 1),
+// since gaps in a strict ascent are >= 1. Samples are grouped into blocks
+// of 64: one int64 byte offset is kept per block rather than per sample,
+// and each sample's payload is preceded by a uvarint byte length, so
+// random access costs one block lookup plus at most 63 length skips.
+// Compared to the flat Collection's 4 bytes per entry + 8 bytes per
+// sample, the coded layout spends ~1.1-1.4 bytes per entry on clustered
+// graphs plus ~1 byte of length prefix and 0.125 bytes of amortized block
+// offset per sample — the >= 3x footprint reduction gated by
+// BenchmarkStoreFootprintGate. The wire format is specified normatively in
+// DESIGN.md §13.
+//
+// The store is append-only and immutable once shared; decode paths
+// (AppendMembers, Contains, visitRange, CountAll) are safe for any number
+// of concurrent readers.
+type CodedCollection struct {
+	n         int
+	relab     *Relabeling // nil = identity labeling (codes are original ids)
+	count     int
+	total     int64   // summed cardinality of all samples
+	blockOffs []int64 // byte offset of each block's first sample; len = ceil(count/64)
+	data      []byte
+
+	codeBuf []uint32 // Append scratch: one sample's codes
+	encBuf  []byte   // Append scratch: one sample's encoded payload
+}
+
+// codedBlockShift and codedBlockSamples fix the block size at 64 samples:
+// small enough that skipping to a sample inside a block is a handful of
+// uvarint length reads, large enough that the per-block int64 offset
+// amortizes to 1/8 byte per sample.
+const (
+	codedBlockShift   = 6
+	codedBlockSamples = 1 << codedBlockShift
+)
+
+// NewCodedCollection returns an empty coded store over n vertices. relab
+// may be nil for the identity labeling; otherwise relab.Len() must equal n.
+func NewCodedCollection(n int, relab *Relabeling) *CodedCollection {
+	if relab != nil && relab.Len() != n {
+		panic(fmt.Sprintf("rrr: relabeling covers %d vertices, store has %d", relab.Len(), n))
+	}
+	return &CodedCollection{n: n, relab: relab}
+}
+
+// FromCollection transcodes every sample of col into a coded store under
+// relab (nil for identity). The flat arena is left untouched; callers drop
+// it when the transcode is what they keep.
+func FromCollection(col *Collection, relab *Relabeling) *CodedCollection {
+	c := NewCodedCollection(col.NumVertices(), relab)
+	// Size the data buffer for the common case (most gaps fit one byte)
+	// to avoid repeated growth; excess capacity is clipped at the end.
+	c.data = make([]byte, 0, col.TotalSize()+int64(col.Count())*2)
+	for i := 0; i < col.Count(); i++ {
+		c.Append(col.Sample(i))
+	}
+	c.data = slices.Clip(c.data)
+	return c
+}
+
+// NumVertices returns the vertex-universe size.
+func (c *CodedCollection) NumVertices() int { return c.n }
+
+// Count returns the number of stored samples.
+func (c *CodedCollection) Count() int { return c.count }
+
+// TotalSize returns the summed cardinality of all samples.
+func (c *CodedCollection) TotalSize() int64 { return c.total }
+
+// Relabeled reports whether the store carries a non-identity labeling
+// (decoded members then come out in code order, not ascending id order).
+func (c *CodedCollection) Relabeled() bool { return c.relab != nil }
+
+// Relabeling returns the store's labeling, nil for identity.
+func (c *CodedCollection) Relabeling() *Relabeling { return c.relab }
+
+// Append adds one sample; the vertex list must be sorted ascending and
+// duplicate-free (the same contract as Collection.Append).
+func (c *CodedCollection) Append(set []graph.Vertex) {
+	codes := c.codeBuf[:0]
+	if c.relab == nil {
+		for _, v := range set {
+			codes = append(codes, uint32(v))
+		}
+	} else {
+		for _, v := range set {
+			codes = append(codes, c.relab.Code(v))
+		}
+		slices.Sort(codes)
+	}
+	c.codeBuf = codes
+
+	buf := c.encBuf[:0]
+	prev := uint32(0)
+	for i, cd := range codes {
+		delta := uint64(cd)
+		if i > 0 {
+			delta = uint64(cd - prev - 1) // gaps are >= 1 in a strict ascent
+		}
+		buf = binary.AppendUvarint(buf, delta)
+		prev = cd
+	}
+	c.encBuf = buf
+
+	if c.count&(codedBlockSamples-1) == 0 {
+		c.blockOffs = append(c.blockOffs, int64(len(c.data)))
+	}
+	c.data = binary.AppendUvarint(c.data, uint64(len(buf)))
+	c.data = append(c.data, buf...)
+	c.count++
+	c.total += int64(len(set))
+}
+
+// payload locates the delta payload of sample i: jump to its block's
+// offset, then skip the length-prefixed samples before it in the block.
+func (c *CodedCollection) payload(i int) []byte {
+	pos := c.blockOffs[i>>codedBlockShift]
+	for s := i & (codedBlockSamples - 1); s > 0; s-- {
+		l, k := binary.Uvarint(c.data[pos:])
+		pos += int64(k) + int64(l)
+	}
+	l, k := binary.Uvarint(c.data[pos:])
+	start := pos + int64(k)
+	return c.data[start : start+int64(l)]
+}
+
+// AppendMembers decodes sample i and appends its members, in ascending
+// code order, to buf (which is returned). With the identity labeling that
+// is ascending original-id order; under a frequency relabeling it is not —
+// the selection paths that consume this are order-insensitive (counter
+// decrements commute), which is why decode never needs to sort.
+func (c *CodedCollection) AppendMembers(i int, buf []graph.Vertex) []graph.Vertex {
+	p := c.payload(i)
+	prev := uint32(0)
+	first := true
+	for pos := 0; pos < len(p); {
+		delta, k := binary.Uvarint(p[pos:])
+		pos += k
+		cur := uint32(delta)
+		if !first {
+			cur = prev + 1 + uint32(delta)
+		}
+		if c.relab == nil {
+			buf = append(buf, graph.Vertex(cur))
+		} else {
+			buf = append(buf, c.relab.Orig(cur))
+		}
+		prev = cur
+		first = false
+	}
+	return buf
+}
+
+// AccumMembers decodes sample i and increments counts at every member's
+// original id — the fused decode+count the purge and counting paths run
+// hot. The varint loop is inlined with a single-byte fast path: under the
+// frequency relabeling most gaps fit one byte (that is the point of the
+// relabeling), so the common case is one branch, one add, one table
+// lookup per member.
+func (c *CodedCollection) AccumMembers(i int, counts []int32) {
+	p := c.payload(i)
+	prev := uint32(0)
+	first := true
+	pos := 0
+	if c.relab == nil {
+		for pos < len(p) {
+			var delta uint32
+			if b := p[pos]; b < 0x80 {
+				delta = uint32(b)
+				pos++
+			} else {
+				d, k := binary.Uvarint(p[pos:])
+				delta = uint32(d)
+				pos += k
+			}
+			cur := prev + 1 + delta
+			if first {
+				cur = delta
+				first = false
+			}
+			counts[cur]++
+			prev = cur
+		}
+		return
+	}
+	orig := c.relab.orig
+	for pos < len(p) {
+		var delta uint32
+		if b := p[pos]; b < 0x80 {
+			delta = uint32(b)
+			pos++
+		} else {
+			d, k := binary.Uvarint(p[pos:])
+			delta = uint32(d)
+			pos += k
+		}
+		cur := prev + 1 + delta
+		if first {
+			cur = delta
+			first = false
+		}
+		counts[orig[cur]]++
+		prev = cur
+	}
+}
+
+// SampleSorted decodes sample i into buf (reused if capacious) and returns
+// its members sorted ascending by original id — the canonical order
+// Collection.Sample yields, regardless of the store's labeling. Used by
+// transcoding and equivalence tests; hot paths use AppendMembers.
+func (c *CodedCollection) SampleSorted(i int, buf []graph.Vertex) []graph.Vertex {
+	buf = c.AppendMembers(i, buf[:0])
+	if c.relab != nil {
+		slices.Sort(buf)
+	}
+	return buf
+}
+
+// Contains reports membership of v in sample i by streaming the deltas in
+// code space with early exit once the running code passes v's code.
+func (c *CodedCollection) Contains(i int, v graph.Vertex) bool {
+	want := uint32(v)
+	if c.relab != nil {
+		want = c.relab.Code(v)
+	}
+	p := c.payload(i)
+	prev := uint32(0)
+	first := true
+	for pos := 0; pos < len(p); {
+		delta, k := binary.Uvarint(p[pos:])
+		pos += k
+		cur := uint32(delta)
+		if !first {
+			cur = prev + 1 + uint32(delta)
+		}
+		if cur == want {
+			return true
+		}
+		if cur > want {
+			return false
+		}
+		prev = cur
+		first = false
+	}
+	return false
+}
+
+// visitRange streams sample i and invokes visit for every member whose
+// original id falls in [vl, vh) — the store access the inverted-index
+// build needs. With the identity labeling members stream ascending with
+// early exit past vh; under a relabeling every member is decoded and
+// filtered, in code order. Both are valid for buildIndex: each vertex
+// appears at most once per sample, so per-vertex sample lists stay sorted
+// by the ascending sample loop alone.
+func (c *CodedCollection) visitRange(i int, vl, vh graph.Vertex, visit func(graph.Vertex)) {
+	p := c.payload(i)
+	prev := uint32(0)
+	first := true
+	for pos := 0; pos < len(p); {
+		delta, k := binary.Uvarint(p[pos:])
+		pos += k
+		cur := uint32(delta)
+		if !first {
+			cur = prev + 1 + uint32(delta)
+		}
+		prev = cur
+		first = false
+		if c.relab == nil {
+			if cur >= uint32(vh) {
+				return
+			}
+			if cur >= uint32(vl) {
+				visit(graph.Vertex(cur))
+			}
+			continue
+		}
+		if v := c.relab.Orig(cur); v >= vl && v < vh {
+			visit(v)
+		}
+	}
+}
+
+// CountAll accumulates every sample's membership into counter, skipping
+// samples marked in covered (may be nil to count everything) — the coded
+// analog of Collection.CountRange over the full vertex range.
+func (c *CodedCollection) CountAll(counter []int32, covered Bitset) {
+	for i := 0; i < c.count; i++ {
+		if covered != nil && covered.Get(i) {
+			continue
+		}
+		c.AccumMembers(i, counter)
+	}
+}
+
+// Recode re-expresses every sample under a different labeling (nil for
+// identity), returning a new store over the same samples. This is the
+// snapshot cross-loading path: a snapshot written with one labeling is
+// transcoded once at load time into the store kind the server runs.
+func (c *CodedCollection) Recode(relab *Relabeling) *CodedCollection {
+	out := NewCodedCollection(c.n, relab)
+	out.data = make([]byte, 0, len(c.data))
+	var buf []graph.Vertex
+	for i := 0; i < c.count; i++ {
+		buf = c.SampleSorted(i, buf)
+		out.Append(buf)
+	}
+	out.data = slices.Clip(out.data)
+	return out
+}
+
+// Bytes returns the coded footprint: payload bytes, block offsets, and the
+// relabel table the store cannot be decoded without.
+func (c *CodedCollection) Bytes() int64 {
+	return int64(len(c.data)) + int64(len(c.blockOffs))*8 + c.relab.Bytes()
+}
+
+// FlatBytes returns what the same samples cost in the flat Collection
+// layout (4 bytes per entry + 8 bytes per sample offset) — the numerator
+// of the compression ratio reported beside rrr/store-bytes.
+func (c *CodedCollection) FlatBytes() int64 {
+	return c.total*4 + int64(c.count+1)*8
+}
+
+// decodePayloadChecked walks one sample payload, validating it: every
+// varint must terminate inside the payload, codes must ascend strictly and
+// stay below n, and no trailing bytes may remain ambiguous (the payload
+// length delimits exactly). Returns the cardinality. This is the
+// validation core the snapshot reader runs over untrusted bytes, and the
+// FuzzDecodeSample target.
+func decodePayloadChecked(p []byte, n int) (int, error) {
+	prev := uint32(0)
+	first := true
+	card := 0
+	for pos := 0; pos < len(p); {
+		delta, k := binary.Uvarint(p[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("truncated or oversized varint at payload byte %d", pos)
+		}
+		pos += k
+		// Reject the delta before summing so the running code can never
+		// overflow uint64 and wrap back under n.
+		if delta >= uint64(n) {
+			return 0, fmt.Errorf("delta %d out of range [0, %d)", delta, n)
+		}
+		cur64 := delta
+		if !first {
+			cur64 = uint64(prev) + 1 + delta
+		}
+		if cur64 >= uint64(n) {
+			return 0, fmt.Errorf("code %d out of range [0, %d)", cur64, n)
+		}
+		prev = uint32(cur64)
+		first = false
+		card++
+	}
+	return card, nil
+}
+
+// validateCoded structurally checks a coded store parsed from untrusted
+// bytes: block offsets must agree with the walk of length-prefixed
+// payloads, every payload must decode cleanly, and the declared count and
+// total must match what the walk finds.
+func validateCoded(n int, count int, total int64, blockOffs []int64, data []byte) error {
+	wantBlocks := (count + codedBlockSamples - 1) >> codedBlockShift
+	if len(blockOffs) != wantBlocks {
+		return fmt.Errorf("store has %d block offsets, want %d for %d samples", len(blockOffs), wantBlocks, count)
+	}
+	pos := int64(0)
+	var walkedTotal int64
+	for i := 0; i < count; i++ {
+		if i&(codedBlockSamples-1) == 0 {
+			if blockOffs[i>>codedBlockShift] != pos {
+				return fmt.Errorf("block %d offset %d disagrees with walk position %d", i>>codedBlockShift, blockOffs[i>>codedBlockShift], pos)
+			}
+		}
+		l, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return fmt.Errorf("store sample %d: truncated length prefix", i)
+		}
+		pos += int64(k)
+		if l > uint64(int64(len(data))-pos) {
+			return fmt.Errorf("store sample %d: payload length %d exceeds remaining data", i, l)
+		}
+		card, err := decodePayloadChecked(data[pos:pos+int64(l)], n)
+		if err != nil {
+			return fmt.Errorf("store sample %d: %v", i, err)
+		}
+		walkedTotal += int64(card)
+		pos += int64(l)
+	}
+	if pos != int64(len(data)) {
+		return fmt.Errorf("store data has %d trailing bytes past the last sample", int64(len(data))-pos)
+	}
+	if walkedTotal != total {
+		return fmt.Errorf("store declares %d total entries, samples hold %d", total, walkedTotal)
+	}
+	return nil
+}

@@ -37,13 +37,15 @@ func BuildIndex(col *Collection, p int) *Index {
 		})
 }
 
-// BuildIndexCompressed constructs the inverted incidence of a compressed
+// BuildIndexCoded constructs the inverted incidence of a byte-coded
 // store, byte-identical to BuildIndex over an equivalent plain Collection
-// for every worker count. Workers navigate by streaming each sample's
-// deltas with early exit past their interval instead of binary search, so
-// the build costs one extra decode pass per worker — paid once when a
-// snapshot carries samples but no index.
-func BuildIndexCompressed(col *CompressedCollection, p int) *Index {
+// for every worker count: the index lives in original-id space regardless
+// of the store's labeling, because visitRange filters on original ids and
+// each vertex's sample list is kept sorted by the ascending sample loop
+// alone. Workers decode each sample instead of binary-searching it, so
+// the build costs one extra decode pass per worker — paid once at sketch
+// build, or when a snapshot carries samples but no index.
+func BuildIndexCoded(col *CodedCollection, p int) *Index {
 	return buildIndex(col.NumVertices(), col.Count(), p, col.visitRange)
 }
 

@@ -152,20 +152,21 @@ func TestBitset(t *testing.T) {
 	}
 }
 
-// TestBuildIndexCompressedMatchesPlain pins the store-agnostic build core:
-// indexing a compressed store yields exactly the arrays of indexing the
-// equivalent plain Collection, for every worker count.
-func TestBuildIndexCompressedMatchesPlain(t *testing.T) {
-	col, sets := randomCollection(11, 50, 160, 0.15)
-	comp := NewCompressedCollection(50)
-	for _, s := range sets {
-		comp.Append(s)
-	}
-	for _, p := range []int{1, 2, 3, 8, 64} {
-		want := BuildIndex(col, p)
-		got := BuildIndexCompressed(comp, p)
-		if !slices.Equal(got.offsets, want.offsets) || !slices.Equal(got.samples, want.samples) {
-			t.Fatalf("p=%d: compressed index differs from plain build", p)
+// TestBuildIndexCodedMatchesPlain pins the store-agnostic build core:
+// indexing a coded store — under either labeling — yields exactly the
+// arrays of indexing the equivalent plain Collection, for every worker
+// count. The index lives in original-id space, so a frequency relabeling
+// must not leak into it.
+func TestBuildIndexCodedMatchesPlain(t *testing.T) {
+	col, _ := randomCollection(11, 50, 160, 0.15)
+	for _, relab := range []*Relabeling{nil, NewRelabeling(IncidenceOf(col, 3))} {
+		coded := FromCollection(col, relab)
+		for _, p := range []int{1, 2, 3, 8, 64} {
+			want := BuildIndex(col, p)
+			got := BuildIndexCoded(coded, p)
+			if !slices.Equal(got.offsets, want.offsets) || !slices.Equal(got.samples, want.samples) {
+				t.Fatalf("relabeled=%v p=%d: coded index differs from plain build", relab != nil, p)
+			}
 		}
 	}
 }

@@ -13,17 +13,18 @@ import (
 
 // Snapshot format: the persistent form of a sampled sketch, so a serving
 // process can warm-start from disk instead of re-running the minutes-long
-// sampling phase. One snapshot holds a CompressedCollection, its optional
-// CSR inverted-incidence Index, and the SnapshotMeta identifying the
-// configuration the sketch was sampled for. Layout (all integers
-// little-endian):
+// sampling phase. One snapshot holds a CodedCollection (with its optional
+// relabel table), its optional CSR inverted-incidence Index, and the
+// SnapshotMeta identifying the configuration the sketch was sampled for.
+// Layout (all integers little-endian; normative spec in DESIGN.md §13):
 //
 //	magic   [8]byte  "IMXSNAP\x01"
-//	version uint32
+//	version uint32   (currently 2)
 //	meta    graphDigest u64 | model u64 | epsilonBits u64 |
 //	        kMax u64 | seed u64 | theta u64
-//	store   n u64 | count u64 | dataLen u64 |
-//	        offsets (count+1)*i64 | sizes count*i32 | data[dataLen]
+//	store   n u64 | count u64 | total u64 | dataLen u64 |
+//	        blockOffs ceil(count/64)*i64 | data[dataLen]
+//	relab   present u64 (0|1); if 1: table n*u32 (code -> original id)
 //	index   present u64 (0|1); if 1:
 //	        offsets (n+1)*i64 | samplesLen u64 | samples samplesLen*i32
 //	crc     uint32  (CRC-32C of every preceding byte, magic included)
@@ -40,8 +41,12 @@ import (
 // snapshotMagic identifies the file type and format generation.
 var snapshotMagic = [8]byte{'I', 'M', 'X', 'S', 'N', 'A', 'P', 1}
 
-// SnapshotVersion is the current snapshot wire-format version.
-const SnapshotVersion = 1
+// SnapshotVersion is the current snapshot wire-format version. Version 2
+// replaced the per-sample offset/size store of version 1 with the
+// block-coded layout; version-1 snapshots are rejected with a
+// SnapshotError — snapshots are regenerable caches, so the remedy is to
+// resample and save a fresh one.
+const SnapshotVersion = 2
 
 // DefaultMaxSnapshotBytes is the largest snapshot a reader accepts unless
 // the caller overrides the bound (4 GiB).
@@ -82,7 +87,7 @@ func (e *SnapshotError) Error() string { return "rrr: invalid snapshot: " + e.Re
 
 // WriteSnapshot serializes meta, col and idx (idx may be nil) to w in the
 // versioned, checksummed snapshot format.
-func WriteSnapshot(w io.Writer, meta SnapshotMeta, col *CompressedCollection, idx *Index) error {
+func WriteSnapshot(w io.Writer, meta SnapshotMeta, col *CodedCollection, idx *Index) error {
 	crc := crc32.New(castagnoli)
 	sw := &snapshotWriter{w: io.MultiWriter(w, crc)}
 	sw.raw(snapshotMagic[:])
@@ -96,11 +101,18 @@ func WriteSnapshot(w io.Writer, meta SnapshotMeta, col *CompressedCollection, id
 	sw.u64(uint64(meta.Theta))
 
 	sw.u64(uint64(col.n))
-	sw.u64(uint64(col.Count()))
+	sw.u64(uint64(col.count))
+	sw.u64(uint64(col.total))
 	sw.u64(uint64(len(col.data)))
-	sw.int64s(col.offsets)
-	sw.int32s(col.sizes)
+	sw.int64s(col.blockOffs)
 	sw.raw(col.data)
+
+	if col.relab == nil {
+		sw.u64(0)
+	} else {
+		sw.u64(1)
+		sw.uint32s(col.relab.Table())
+	}
 
 	if idx == nil {
 		sw.u64(0)
@@ -124,7 +136,7 @@ func WriteSnapshot(w io.Writer, meta SnapshotMeta, col *CompressedCollection, id
 // ReadSnapshot parses a snapshot from r, accepting at most maxBytes of
 // payload claims (<= 0 uses DefaultMaxSnapshotBytes). The returned Index
 // is nil when the snapshot was written without one.
-func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CompressedCollection, *Index, error) {
+func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CodedCollection, *Index, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxSnapshotBytes
 	}
@@ -138,11 +150,15 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CompressedCollect
 		sr.fail("bad magic")
 	}
 	if v := sr.u32(); sr.err == nil && v != SnapshotVersion {
-		sr.fail(fmt.Sprintf("unsupported version %d (want %d)", v, SnapshotVersion))
+		sr.fail(fmt.Sprintf("unsupported version %d (want %d; resample and save a fresh snapshot)", v, SnapshotVersion))
 	}
 
 	meta.GraphDigest = sr.u64()
-	meta.Model = uint8(sr.u64())
+	if m := sr.u64(); sr.err == nil && m > 255 {
+		sr.fail(fmt.Sprintf("model ordinal %d out of range", m))
+	} else {
+		meta.Model = uint8(m)
+	}
 	meta.Epsilon = math.Float64frombits(sr.u64())
 	meta.KMax = int(sr.claim("kMax"))
 	meta.Seed = sr.u64()
@@ -150,21 +166,36 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CompressedCollect
 
 	n := sr.claim("vertex count")
 	count := sr.claim("sample count")
+	total := sr.claim("total entries")
 	dataLen := sr.claim("data length")
-	col := &CompressedCollection{
-		n:       int(n),
-		offsets: sr.int64s(count+1, "store offsets"),
-		sizes:   sr.int32s(count, "store sizes"),
-		data:    sr.bytes(dataLen, "store data"),
+	nBlocks := (count + codedBlockSamples - 1) >> codedBlockShift
+	col := &CodedCollection{
+		n:         int(n),
+		count:     int(count),
+		total:     total,
+		blockOffs: sr.int64s(nBlocks, "store block offsets"),
+		data:      sr.bytes(dataLen, "store data"),
+	}
+	switch present := sr.u64(); {
+	case sr.err != nil:
+	case present == 1:
+		table := sr.uint32s(n, "relabel table")
+		if sr.err == nil {
+			relab, err := RelabelingFromTable(table)
+			if err != nil {
+				sr.fail(err.Error())
+			} else {
+				col.relab = relab
+			}
+		}
+	case present != 0:
+		sr.fail("bad relabel-present flag")
 	}
 	if sr.err == nil {
-		if col.offsets[0] != 0 || col.offsets[count] != dataLen {
-			sr.fail("store offsets disagree with data length")
-		}
-		for i := 0; sr.err == nil && i < int(count); i++ {
-			if col.offsets[i] > col.offsets[i+1] || col.sizes[i] < 0 {
-				sr.fail(fmt.Sprintf("store sample %d malformed", i))
-			}
+		// Full structural walk: block offsets, length prefixes, varint
+		// payloads, strict ascent, code range, count and total agreement.
+		if err := validateCoded(col.n, col.count, col.total, col.blockOffs, col.data); err != nil {
+			sr.fail(err.Error())
 		}
 	}
 
@@ -206,7 +237,7 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CompressedCollect
 
 // SaveSnapshotFile writes the snapshot atomically: to a temp file in the
 // target directory, synced, then renamed over path.
-func SaveSnapshotFile(path string, meta SnapshotMeta, col *CompressedCollection, idx *Index) error {
+func SaveSnapshotFile(path string, meta SnapshotMeta, col *CodedCollection, idx *Index) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -235,7 +266,7 @@ func SaveSnapshotFile(path string, meta SnapshotMeta, col *CompressedCollection,
 
 // LoadSnapshotFile reads a snapshot from path with the given payload bound
 // (<= 0 uses DefaultMaxSnapshotBytes).
-func LoadSnapshotFile(path string, maxBytes int64) (SnapshotMeta, *CompressedCollection, *Index, error) {
+func LoadSnapshotFile(path string, maxBytes int64) (SnapshotMeta, *CodedCollection, *Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return SnapshotMeta{}, nil, nil, err
@@ -292,6 +323,18 @@ func (w *snapshotWriter) int32s(vs []int32) {
 		batch := min(len(vs), len(w.buf)/per)
 		for i, v := range vs[:batch] {
 			binary.LittleEndian.PutUint32(w.buf[i*per:], uint32(v))
+		}
+		w.raw(w.buf[:batch*per])
+		vs = vs[batch:]
+	}
+}
+
+func (w *snapshotWriter) uint32s(vs []uint32) {
+	const per = 4
+	for len(vs) > 0 && w.err == nil {
+		batch := min(len(vs), len(w.buf)/per)
+		for i, v := range vs[:batch] {
+			binary.LittleEndian.PutUint32(w.buf[i*per:], v)
 		}
 		w.raw(w.buf[:batch*per])
 		vs = vs[batch:]
@@ -378,6 +421,29 @@ func (r *snapshotReader) int64s(count int64, what string) []int64 {
 		r.raw(b)
 		for i := int64(0); i < batch; i++ {
 			vs = append(vs, int64(binary.LittleEndian.Uint64(b[i*per:])))
+		}
+		remaining -= batch
+	}
+	return vs
+}
+
+func (r *snapshotReader) uint32s(count int64, what string) []uint32 {
+	const per = 4
+	if r.err != nil {
+		return nil
+	}
+	if count < 0 || count > r.max/per {
+		r.fail(fmt.Sprintf("%s claims %d entries, max %d", what, count, r.max/per))
+		return nil
+	}
+	vs := make([]uint32, 0, min(count, snapshotAllocChunk/per))
+	var chunk [snapshotAllocChunk]byte
+	for remaining := count; remaining > 0 && r.err == nil; {
+		batch := min(remaining, int64(len(chunk)/per))
+		b := chunk[:batch*per]
+		r.raw(b)
+		for i := int64(0); i < batch; i++ {
+			vs = append(vs, binary.LittleEndian.Uint32(b[i*per:]))
 		}
 		remaining -= batch
 	}

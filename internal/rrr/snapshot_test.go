@@ -2,10 +2,13 @@ package rrr
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"path/filepath"
 	"slices"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -13,15 +16,20 @@ import (
 	"influmax/internal/rng"
 )
 
-// snapshotFixture builds a compressed store, its index and a meta block
-// from a seed.
-func snapshotFixture(seed uint64, n, count int) (SnapshotMeta, *CompressedCollection, *Index) {
+// snapshotFixture builds a coded store (frequency-relabeled on odd seeds,
+// identity on even), its index and a meta block from a seed.
+func snapshotFixture(seed uint64, n, count int) (SnapshotMeta, *CodedCollection, *Index) {
 	r := rng.New(rng.NewLCG(seed))
-	col := NewCompressedCollection(n)
+	flat := NewCollection(n)
 	for i := 0; i < count; i++ {
-		col.Append(randomSortedSet(r, n, r.Float64()*0.4))
+		flat.Append(randomSortedSet(r, n, r.Float64()*0.4))
 	}
-	idx := BuildIndexCompressed(col, 3)
+	var relab *Relabeling
+	if seed%2 == 1 {
+		relab = NewRelabeling(IncidenceOf(flat, 2))
+	}
+	col := FromCollection(flat, relab)
+	idx := BuildIndexCoded(col, 3)
 	meta := SnapshotMeta{
 		GraphDigest: seed * 0x9e3779b97f4a7c15,
 		Model:       uint8(seed % 2),
@@ -33,7 +41,7 @@ func snapshotFixture(seed uint64, n, count int) (SnapshotMeta, *CompressedCollec
 	return meta, col, idx
 }
 
-func encodeSnapshot(t *testing.T, meta SnapshotMeta, col *CompressedCollection, idx *Index) []byte {
+func encodeSnapshot(t *testing.T, meta SnapshotMeta, col *CodedCollection, idx *Index) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := WriteSnapshot(&buf, meta, col, idx); err != nil {
@@ -65,10 +73,14 @@ func TestSnapshotRoundTripByteIdentical(t *testing.T) {
 			t.Logf("seed %d: re-encode differs", seed)
 			return false
 		}
+		if gotCol.Relabeled() != col.Relabeled() {
+			t.Logf("seed %d: labeling lost", seed)
+			return false
+		}
 		var a, b []graph.Vertex
 		for i := 0; i < col.Count(); i++ {
-			a, b = col.Sample(i, a), gotCol.Sample(i, b)
-			if !slices.Equal(a, b) {
+			a, b = col.SampleSorted(i, a), gotCol.SampleSorted(i, b)
+			if !slices.Equal(a, b) && !(len(a) == 0 && len(b) == 0) {
 				return false
 			}
 		}
@@ -186,5 +198,69 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	}
 	if gotMeta != meta || gotCol.Count() != col.Count() || gotIdx == nil {
 		t.Fatalf("round trip lost data: %+v, count %d", gotMeta, gotCol.Count())
+	}
+}
+
+// TestSnapshotRejectsVersion1 pins the version discipline: a version-1
+// header is refused with a SnapshotError telling the operator to resample
+// (snapshots are regenerable caches; there is no migration path).
+func TestSnapshotRejectsVersion1(t *testing.T) {
+	meta, col, idx := snapshotFixture(4, 50, 10)
+	b := encodeSnapshot(t, meta, col, idx)
+	binary.LittleEndian.PutUint32(b[8:], 1)
+	_, _, _, err := ReadSnapshot(bytes.NewReader(b), 0)
+	var serr *SnapshotError
+	if !errors.As(err, &serr) {
+		t.Fatalf("got %v, want SnapshotError", err)
+	}
+	if !strings.Contains(err.Error(), "version 1") || !strings.Contains(err.Error(), "resample") {
+		t.Fatalf("rejection does not name the version or the remedy: %v", err)
+	}
+}
+
+// TestSnapshotRelabelTableRoundTrip checks the relabel section explicitly:
+// a frequency-relabeled store comes back with the identical code->original
+// table, and an identity store comes back with none.
+func TestSnapshotRelabelTableRoundTrip(t *testing.T) {
+	meta, col, idx := snapshotFixture(13, 70, 20) // odd seed: relabeled
+	if !col.Relabeled() {
+		t.Fatal("fixture not relabeled")
+	}
+	_, got, _, err := ReadSnapshot(bytes.NewReader(encodeSnapshot(t, meta, col, idx)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got.Relabeling().Table(), col.Relabeling().Table()) {
+		t.Fatal("relabel table changed across the round trip")
+	}
+
+	meta, col, idx = snapshotFixture(12, 70, 20) // even seed: identity
+	if col.Relabeled() {
+		t.Fatal("fixture unexpectedly relabeled")
+	}
+	_, got, _, err = ReadSnapshot(bytes.NewReader(encodeSnapshot(t, meta, col, idx)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Relabeled() {
+		t.Fatal("identity store came back relabeled")
+	}
+}
+
+// TestSnapshotRejectsBadRelabelTable corrupts the relabel table into a
+// non-permutation and checks the load is refused.
+func TestSnapshotRejectsBadRelabelTable(t *testing.T) {
+	meta, col, idx := snapshotFixture(13, 64, 12)
+	b := encodeSnapshot(t, meta, col, idx)
+	// The relabel table sits right after the store section; duplicate its
+	// first entry into the second to break the permutation, then fix the
+	// checksum so only the table validation can object.
+	off := 8 + 4 + 6*8 + 4*8 + len(col.blockOffs)*8 + len(col.data) + 8
+	copy(b[off+4:off+8], b[off:off+4])
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.Checksum(b[:len(b)-4], castagnoli))
+	_, _, _, err := ReadSnapshot(bytes.NewReader(b), 0)
+	var serr *SnapshotError
+	if !errors.As(err, &serr) {
+		t.Fatalf("got %v, want SnapshotError", err)
 	}
 }

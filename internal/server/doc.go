@@ -16,10 +16,12 @@
 //
 // The moving parts:
 //
-//   - Sketch: an immutable, query-ready unit — a delta+varint
-//     CompressedCollection of theta samples, its CSR inverted incidence
-//     index, and the identifying key (graph digest, model, epsilon, kMax,
-//     seed). Queries run imm.SelectSeedsSketch, which works on
+//   - Sketch: an immutable, query-ready unit — a byte-coded
+//     CodedCollection of theta samples (identity labeling under
+//     imm.StoreFlat, frequency-relabeled under imm.StoreCoded — DESIGN.md
+//     §13), its CSR inverted incidence index, and the identifying key
+//     (graph digest, model, epsilon, kMax, seed). Queries run
+//     imm.SelectSeedsSketch, which works on
 //     copy-on-read state (degree-seeded counters, fresh covered bitset),
 //     so concurrent queries never mutate the shared sketch.
 //   - Snapshots: the rrr snapshot format (versioned, checksummed, chunked

@@ -40,6 +40,11 @@ type Config struct {
 	// Schedule is the sampling-loop schedule for sketch builds (dynamic
 	// work-stealing by default; sketch content does not depend on it).
 	Schedule imm.Schedule
+	// Store is the RRR store kind sketches are built and served under
+	// (flat identity labeling by default; imm.StoreCoded serves from the
+	// frequency-relabeled byte-coded store — same query seeds, >= 3x
+	// smaller resident sketch).
+	Store imm.StoreKind
 	// MaxConcurrent bounds queries executing at once (the worker pool;
 	// <= 0 defaults to 2).
 	MaxConcurrent int
@@ -287,7 +292,7 @@ func (s *Server) writeBackoff(w http.ResponseWriter, status int, format string, 
 func (s *Server) sketchFor(ctx context.Context, key SketchKey) (*Sketch, bool, error) {
 	sk, hit, err := s.cache.get(ctx, key, func() (*Sketch, error) {
 		s.mBuilds.Inc()
-		return BuildSketch(s.cfg.Graph, key, s.cfg.Workers, s.cfg.Schedule, s.reg)
+		return BuildSketch(s.cfg.Graph, key, s.cfg.Workers, s.cfg.Schedule, s.cfg.Store, s.reg)
 	})
 	s.mSketches.Set(int64(s.cache.len()))
 	return sk, hit, err

@@ -133,7 +133,7 @@ func TestSnapshotWarmStart(t *testing.T) {
 	built, err := BuildSketch(g, SketchKey{
 		GraphDigest: g.Digest(), Model: cfg.Model, Epsilon: cfg.Epsilon,
 		KMax: cfg.KMax, Seed: cfg.Seed,
-	}, cfg.Workers, cfg.Schedule, nil)
+	}, cfg.Workers, cfg.Schedule, imm.StoreFlat, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestSnapshotWarmStart(t *testing.T) {
 	if err := built.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadSketch(path, g, cfg.Workers, 0)
+	loaded, err := LoadSketch(path, g, cfg.Workers, imm.StoreFlat, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,7 +30,7 @@ func (k SketchKey) String() string {
 }
 
 // Sketch is a resident, immutable, query-ready RRR sample store: the
-// compressed collection of theta samples, its inverted incidence index,
+// byte-coded collection of theta samples, its inverted incidence index,
 // and the build bookkeeping that rides into per-query RunReports. All
 // fields are read-only after construction; queries operate exclusively on
 // copy-on-read state, so a single Sketch serves any number of concurrent
@@ -38,8 +38,10 @@ func (k SketchKey) String() string {
 type Sketch struct {
 	// Key identifies the configuration the sketch was sampled for.
 	Key SketchKey
-	// Col holds the theta delta+varint-compressed samples.
-	Col *rrr.CompressedCollection
+	// Col holds the theta byte-coded samples: delta+varint payloads under
+	// the identity labeling (imm.StoreFlat) or the frequency-ordered
+	// relabeling (imm.StoreCoded); see DESIGN.md §13.
+	Col *rrr.CodedCollection
 	// Idx is the CSR vertex -> sample-ids inverted incidence of Col.
 	Idx *rrr.Index
 	// Theta is the sample count Algorithm 2 settled on.
@@ -58,27 +60,26 @@ type Sketch struct {
 
 // BuildSketch samples a sketch for key over g: the full estimation +
 // sampling pipeline of Algorithm 1 at K = key.KMax, transcoded into the
-// compressed store. The plain arena is dropped after transcoding; the
-// index built by the run is reused as-is (it is a pure function of the
-// samples, so it indexes the compressed store equally). schedule picks
-// the sampling-loop schedule; the sketch content does not depend on it
-// (builds run in PerSample RNG mode).
-func BuildSketch(g *graph.Graph, key SketchKey, workers int, schedule imm.Schedule, reg *metrics.Registry) (*Sketch, error) {
+// byte-coded store selected by store (imm.StoreCoded adds the
+// frequency-ordered relabeling; imm.StoreFlat keeps the identity
+// labeling). The plain arena is dropped after transcoding; the index the
+// run built over the coded store is reused as-is. schedule picks the
+// sampling-loop schedule; the sketch content does not depend on it
+// (builds run in PerSample RNG mode), and the query seeds do not depend
+// on store.
+func BuildSketch(g *graph.Graph, key SketchKey, workers int, schedule imm.Schedule, store imm.StoreKind, reg *metrics.Registry) (*Sketch, error) {
 	opt := imm.Options{
 		K: key.KMax, Epsilon: key.Epsilon, Model: key.Model,
-		Workers: workers, Seed: key.Seed, Schedule: schedule, Metrics: reg,
+		Workers: workers, Seed: key.Seed, Schedule: schedule,
+		Store: store, Metrics: reg,
 	}
-	res, col, idx, err := imm.RunCollect(g, opt)
+	res, coded, idx, err := imm.RunSketch(g, opt)
 	if err != nil {
 		return nil, err
 	}
-	comp := rrr.NewCompressedCollection(col.NumVertices())
-	for i := 0; i < col.Count(); i++ {
-		comp.Append(col.Sample(i))
-	}
 	return &Sketch{
 		Key:         key,
-		Col:         comp,
+		Col:         coded,
 		Idx:         idx,
 		Theta:       res.Theta,
 		LowerBound:  res.LowerBound,
@@ -94,6 +95,14 @@ func BuildSketch(g *graph.Graph, key SketchKey, workers int, schedule imm.Schedu
 // of concurrent callers.
 func (s *Sketch) Query(k, p int) ([]graph.Vertex, int64) {
 	return imm.SelectSeedsSketch(s.Col, s.Idx, k, p)
+}
+
+// Store reports the store kind the sketch's collection is coded under.
+func (s *Sketch) Store() imm.StoreKind {
+	if s.Col.Relabeled() {
+		return imm.StoreCoded
+	}
+	return imm.StoreFlat
 }
 
 // Meta returns the snapshot meta block identifying this sketch.
@@ -116,10 +125,14 @@ func (s *Sketch) Save(path string) error {
 
 // LoadSketch reads a snapshot from path and validates it against g: the
 // stored graph digest must match, so a sketch is never served against a
-// graph it was not sampled from. A snapshot written without an index gets
-// one rebuilt (workers-wide) — still orders of magnitude cheaper than
-// resampling. maxBytes <= 0 uses rrr.DefaultMaxSnapshotBytes.
-func LoadSketch(path string, g *graph.Graph, workers int, maxBytes int64) (*Sketch, error) {
+// graph it was not sampled from. store selects the labeling the loaded
+// sketch must run under; a snapshot written with the other labeling is
+// transcoded once at load time (decode + re-encode — still orders of
+// magnitude cheaper than resampling, and the index is label-invariant so
+// it carries over untouched). A snapshot written without an index gets
+// one rebuilt (workers-wide). maxBytes <= 0 uses
+// rrr.DefaultMaxSnapshotBytes.
+func LoadSketch(path string, g *graph.Graph, workers int, store imm.StoreKind, maxBytes int64) (*Sketch, error) {
 	start := time.Now()
 	meta, col, idx, err := rrr.LoadSnapshotFile(path, maxBytes)
 	if err != nil {
@@ -136,6 +149,20 @@ func LoadSketch(path string, g *graph.Graph, workers int, maxBytes int64) (*Sket
 	if meta.KMax < 1 {
 		return nil, fmt.Errorf("server: snapshot %s has kMax %d", path, meta.KMax)
 	}
+	if wantCoded := store == imm.StoreCoded; wantCoded != col.Relabeled() {
+		// Cross-load: re-express every sample under the labeling this
+		// server runs. The relabel table for the coded direction is rebuilt
+		// from the samples' own incidence frequencies — the same table the
+		// sampling path would have produced, since it is a pure function of
+		// the sample set.
+		var relab *rrr.Relabeling
+		if wantCoded {
+			freq := make([]int32, col.NumVertices())
+			col.CountAll(freq, nil)
+			relab = rrr.NewRelabeling(freq)
+		}
+		col = col.Recode(relab)
+	}
 	s := &Sketch{
 		Key: SketchKey{
 			GraphDigest: meta.GraphDigest,
@@ -150,7 +177,7 @@ func LoadSketch(path string, g *graph.Graph, workers int, maxBytes int64) (*Sket
 		Source: "snapshot",
 	}
 	if s.Idx == nil {
-		s.Idx = rrr.BuildIndexCompressed(col, workers)
+		s.Idx = rrr.BuildIndexCoded(col, workers)
 	}
 	// The load itself is accounted to Other; estimation/sampling stay
 	// zero — the warm start the snapshot exists for.
@@ -178,7 +205,9 @@ func (s *Sketch) report(k, workers int, selectDur time.Duration, seeds []graph.V
 		rep.CoverageFraction = float64(covered) / float64(c)
 	}
 	rep.EstimatedSpread = rep.CoverageFraction * float64(s.Col.NumVertices())
+	rep.Store = s.Store().String()
 	rep.StoreBytes = s.Col.Bytes()
+	rep.FlatStoreBytes = s.Col.FlatBytes()
 	rep.IndexBytes = s.Idx.Bytes()
 	return rep
 }
