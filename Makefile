@@ -4,7 +4,14 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench fmt fmt-check clean
+.PHONY: check build vet test race bench bench-baseline bench-gate fmt fmt-check clean
+
+# The benchmark runs the CI bench gate pins: the fused-vs-scalar sampling
+# kernel comparison (internal/imm) and end-to-end seed selection (root).
+# -benchtime 1x yields one ns/op sample per run; -count=5 gives
+# cmd/benchdiff five samples per benchmark to take a median over.
+BENCH_GATE_RUNS = { $(GO) test -run '^$$' -bench '^BenchmarkSelectSeeds$$' -benchtime 1x -count=5 . \
+	&& $(GO) test -run '^$$' -bench '^BenchmarkSampleBatch$$' -benchtime 1x -count=5 ./internal/imm ; }
 
 ## check: the CI-grade gate — compile everything, check formatting, vet,
 ## and run the full test suite under the race detector.
@@ -35,6 +42,20 @@ fmt-check:
 ## sampler's static-vs-dynamic schedule benchmark.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/imm
+
+## bench-baseline: regenerate the committed bench-gate baseline
+## (results/bench_baseline.json). Run this deliberately, on the reference
+## machine, when a change is *supposed* to shift the benchmarks — the
+## baseline encodes absolute speeds, so a laptop-written baseline makes
+## the CI gate meaningless.
+bench-baseline:
+	$(BENCH_GATE_RUNS) | $(GO) run ./cmd/benchdiff -write -baseline results/bench_baseline.json
+
+## bench-gate: compare current benchmark medians against the committed
+## baseline; fails on a >15% median regression or a missing benchmark
+## (see cmd/benchdiff). CI runs this on every PR.
+bench-gate:
+	$(BENCH_GATE_RUNS) | $(GO) run ./cmd/benchdiff -baseline results/bench_baseline.json
 
 clean:
 	$(GO) clean ./...

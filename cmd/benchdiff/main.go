@@ -1,0 +1,215 @@
+// Command benchdiff is the CI bench-regression gate: it parses `go test
+// -bench` output, reduces repeated runs (-count=N) to per-benchmark
+// medians, and either writes those medians as a committed baseline or
+// compares them against one, failing when any benchmark's median ns/op
+// regresses past a threshold.
+//
+// Compare mode (the default) prints a markdown table — suitable for a CI
+// job summary — and exits non-zero on regression:
+//
+//	go test -bench . -count=5 . | benchdiff -baseline results/bench_baseline.json
+//
+// Write mode regenerates the baseline deliberately (`make bench-baseline`):
+//
+//	go test -bench . -count=5 . | benchdiff -write -baseline results/bench_baseline.json
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix, so a baseline written at -cpu 8 still matches a run at -cpu 4.
+// Medians (not means) absorb the odd slow iteration a shared CI runner
+// throws in; the threshold (default 15%) absorbs the rest. A benchmark
+// present in the baseline but absent from the input fails the gate too —
+// a gate that silently stops running its benchmarks is not a gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed benchmark reference (schema 1).
+type Baseline struct {
+	// Schema is the file-format version.
+	Schema int `json:"schema"`
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// Benchmarks maps normalized benchmark name to its reference numbers.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's reference measurement.
+type Entry struct {
+	// MedianNs is the median ns/op across the repeated runs.
+	MedianNs float64 `json:"median_ns"`
+	// Samples is the number of runs the median was taken over.
+	Samples int `json:"samples"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkSampleBatch/fused/WC-8  2  126252592 ns/op  683.0 balance‰".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// parseBench reads go-test bench output and returns ns/op samples per
+// normalized benchmark name, in input order.
+func parseBench(r io.Reader) (map[string][]float64, []string, error) {
+	samples := make(map[string][]float64)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if _, seen := samples[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	return samples, order, sc.Err()
+}
+
+// median returns the median of xs (mean of the middle pair for even
+// lengths). xs must be non-empty; it is not modified.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "results/bench_baseline.json", "baseline JSON path")
+		write        = flag.Bool("write", false, "write the baseline from the input instead of comparing")
+		threshold    = flag.Float64("threshold", 0.15, "median regression fraction that fails the gate")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		return fmt.Errorf("at most one input file (default stdin)")
+	}
+
+	samples, order, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+
+	if *write {
+		b := Baseline{
+			Schema:     1,
+			Note:       "regenerate with `make bench-baseline` on the reference machine",
+			Benchmarks: make(map[string]Entry, len(samples)),
+		}
+		for name, xs := range samples {
+			b.Benchmarks[name] = Entry{MedianNs: median(xs), Samples: len(xs)}
+		}
+		buf, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d benchmark medians to %s\n", len(b.Benchmarks), *baselinePath)
+		return nil
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %v", *baselinePath, err)
+	}
+	if base.Schema != 1 {
+		return fmt.Errorf("%s: unsupported schema %d", *baselinePath, base.Schema)
+	}
+
+	if compare(os.Stdout, samples, order, base, *threshold) {
+		return fmt.Errorf("bench gate failed (threshold %.0f%%)", *threshold*100)
+	}
+	return nil
+}
+
+// compare writes the markdown comparison table to w and reports whether
+// the gate failed: any benchmark whose current median exceeds its
+// baseline by more than threshold, or any baselined benchmark missing
+// from the input.
+func compare(w io.Writer, samples map[string][]float64, order []string, base Baseline, threshold float64) bool {
+	fmt.Fprintln(w, "| benchmark | baseline | current | delta | status |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	failed := false
+	for _, name := range order {
+		cur := median(samples[name])
+		ref, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "| %s | — | %s | — | new |\n", name, fmtNs(cur))
+			continue
+		}
+		delta := cur/ref.MedianNs - 1
+		status := "ok"
+		if delta > threshold {
+			status = fmt.Sprintf("**REGRESSION** (>%.0f%%)", threshold*100)
+			failed = true
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%% | %s |\n", name, fmtNs(ref.MedianNs), fmtNs(cur), delta*100, status)
+	}
+	var missing []string
+	for name := range base.Benchmarks {
+		if _, ok := samples[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "| %s | %s | — | — | **MISSING** |\n", name, fmtNs(base.Benchmarks[name].MedianNs))
+		failed = true
+	}
+	return failed
+}
+
+// fmtNs renders a ns/op value at a human scale.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	}
+	return fmt.Sprintf("%.0fns", ns)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

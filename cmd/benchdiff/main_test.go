@@ -1,0 +1,119 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+BenchmarkSampleBatch/scalar/IC-8         	       2	 500000000 ns/op	       900.0 balance‰
+BenchmarkSampleBatch/scalar/IC-8         	       2	 520000000 ns/op	       900.0 balance‰
+BenchmarkSampleBatch/scalar/IC-8         	       2	 480000000 ns/op	       900.0 balance‰
+BenchmarkSampleBatch/fused/IC-8          	       4	 200000000 ns/op	  33043724 coins/op
+BenchmarkSampleBatch/fused/IC-8          	       4	 210000000 ns/op	  33043724 coins/op
+BenchmarkSelectSeeds                     	       1	1200000.5 ns/op
+PASS
+ok  	influmax	12.3s
+`
+
+// TestParseBench pins the parser: the -GOMAXPROCS suffix is stripped, all
+// repeats of a name are collected in input order, and suffix-free names
+// (benchtime 1x runs print none) parse too.
+func TestParseBench(t *testing.T) {
+	samples, order, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{
+		"BenchmarkSampleBatch/scalar/IC",
+		"BenchmarkSampleBatch/fused/IC",
+		"BenchmarkSelectSeeds",
+	}
+	if len(order) != len(wantOrder) {
+		t.Fatalf("order = %v, want %v", order, wantOrder)
+	}
+	for i := range order {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("order = %v, want %v", order, wantOrder)
+		}
+	}
+	if n := len(samples["BenchmarkSampleBatch/scalar/IC"]); n != 3 {
+		t.Fatalf("scalar/IC samples = %d, want 3", n)
+	}
+	if got := samples["BenchmarkSelectSeeds"][0]; got != 1200000.5 {
+		t.Fatalf("SelectSeeds ns/op = %v, want 1200000.5", got)
+	}
+}
+
+// TestMedian pins odd, even, and single-sample reductions.
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{7}, 7},
+	}
+	for _, tc := range cases {
+		if got := median(tc.xs); got != tc.want {
+			t.Fatalf("median(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+}
+
+// TestMedianDoesNotMutate: the gate compares each name once; reusing the
+// sample slice afterwards (e.g. for a verbose dump) must see input order.
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("median mutated its input: %v", xs)
+	}
+}
+
+// TestCompareGate pins the gate semantics: within-threshold drift passes,
+// a median regression past the threshold fails, a benchmark new to the
+// input is reported without failing, and a baselined benchmark missing
+// from the input fails (a gate that stops running its benchmarks must not
+// pass silently).
+func TestCompareGate(t *testing.T) {
+	base := Baseline{Schema: 1, Benchmarks: map[string]Entry{
+		"BenchmarkA": {MedianNs: 100, Samples: 5},
+		"BenchmarkB": {MedianNs: 100, Samples: 5},
+	}}
+	var out strings.Builder
+
+	ok := map[string][]float64{"BenchmarkA": {110}, "BenchmarkB": {90}}
+	if compare(&out, ok, []string{"BenchmarkA", "BenchmarkB"}, base, 0.15) {
+		t.Fatalf("10%% drift failed the 15%% gate:\n%s", out.String())
+	}
+
+	out.Reset()
+	regressed := map[string][]float64{"BenchmarkA": {120}, "BenchmarkB": {90}}
+	if !compare(&out, regressed, []string{"BenchmarkA", "BenchmarkB"}, base, 0.15) {
+		t.Fatal("20% regression passed the 15% gate")
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("table does not flag the regression:\n%s", out.String())
+	}
+
+	out.Reset()
+	withNew := map[string][]float64{"BenchmarkA": {100}, "BenchmarkB": {100}, "BenchmarkC": {1}}
+	if compare(&out, withNew, []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"}, base, 0.15) {
+		t.Fatalf("a new benchmark failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Fatalf("table does not mark the new benchmark:\n%s", out.String())
+	}
+
+	out.Reset()
+	missing := map[string][]float64{"BenchmarkA": {100}}
+	if !compare(&out, missing, []string{"BenchmarkA"}, base, 0.15) {
+		t.Fatal("missing baselined benchmark passed the gate")
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("table does not mark the missing benchmark:\n%s", out.String())
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 		baseline    = flag.Bool("baseline", false, "run the Tang-style sequential baseline instead")
 		leapfrog    = flag.Bool("leapfrog", false, "use leap-frog RNG splitting (paper mode) instead of per-sample")
 		schedule    = flag.String("schedule", "dynamic", "sampling-loop schedule: dynamic (work-stealing) or static (paper's contiguous split)")
+		kernelStr   = flag.String("kernel", "fused", "sampling kernel: fused (batched CSR frontier) or scalar (per-sample reverse BFS; byte-identical results, -leapfrog always uses scalar)")
 		storeStr    = flag.String("store", "flat", "RRR store for the final selection: flat (uint32 arena) or coded (byte-coded, ~3x smaller; same seeds)")
 		verify      = flag.Int("verify", 0, "if > 0, evaluate the seed set with this many Monte Carlo cascades")
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout (machine-readable)")
@@ -64,6 +65,10 @@ func main() {
 		fatal("%v", err)
 	}
 	store, err := influmax.ParseStoreKind(*storeStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	kernel, err := influmax.ParseKernel(*kernelStr)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -103,7 +108,7 @@ func main() {
 			st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree)
 	}
 
-	opt := influmax.Options{K: *k, Epsilon: *eps, Model: model, Workers: *workers, Seed: *seed, Schedule: sched, Store: store}
+	opt := influmax.Options{K: *k, Epsilon: *eps, Model: model, Workers: *workers, Seed: *seed, Schedule: sched, Store: store, Kernel: kernel}
 	if *leapfrog {
 		opt.RNG = influmax.LeapFrog
 	}

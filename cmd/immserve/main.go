@@ -39,6 +39,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "random seed")
 		workers      = flag.Int("workers", 0, "threads for sampling and selection (0 = all cores)")
 		schedule     = flag.String("schedule", "dynamic", "sketch-build sampling schedule: dynamic (work-stealing) or static (paper's contiguous split)")
+		kernelStr    = flag.String("kernel", "fused", "sketch-build sampling kernel: fused (batched CSR frontier) or scalar (per-sample reverse BFS; same sketches and seeds)")
 		storeStr     = flag.String("store", "flat", "resident RRR store: flat (uint32 arena) or coded (byte-coded, ~3x smaller; same seeds)")
 		concurrency  = flag.Int("concurrency", 2, "queries executing at once")
 		queue        = flag.Int("queue", 16, "queries waiting for a slot before 429s start")
@@ -61,6 +62,10 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	kernel, err := influmax.ParseKernel(*kernelStr)
+	if err != nil {
+		fatal("%v", err)
+	}
 	g, err := loadGraph(*graphPath, *binary, *dataset, *scale, *seed, *weights)
 	if err != nil {
 		fatal("%v", err)
@@ -76,14 +81,14 @@ func main() {
 		GraphDigest: g.Digest(), Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
 	}
 	reg := influmax.NewMetricsRegistry()
-	sketch, err := prepareSketch(g, key, *snapshot, *workers, sched, store, reg)
+	sketch, err := prepareSketch(g, key, *snapshot, *workers, sched, kernel, store, reg)
 	if err != nil {
 		fatal("%v", err)
 	}
 
 	srv, err := influmax.Serve(influmax.ServeConfig{
 		Graph: g, Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
-		Workers: *workers, Schedule: sched, Store: store, MaxConcurrent: *concurrency, MaxQueue: *queue,
+		Workers: *workers, Schedule: sched, Kernel: kernel, Store: store, MaxConcurrent: *concurrency, MaxQueue: *queue,
 		QueryTimeout: *timeout, Metrics: reg, EnablePprof: *pprofOn,
 		Sketch: sketch,
 	})
@@ -116,7 +121,7 @@ func main() {
 // warm-starts the server (transcoded into the -store kind if it was
 // written with the other one); otherwise the sketch is sampled and — when
 // a path was given — persisted for the next start.
-func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, workers int, sched influmax.Schedule, store influmax.StoreKind, reg *influmax.MetricsRegistry) (*influmax.Sketch, error) {
+func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, workers int, sched influmax.Schedule, kernel influmax.Kernel, store influmax.StoreKind, reg *influmax.MetricsRegistry) (*influmax.Sketch, error) {
 	if path != "" {
 		if _, err := os.Stat(path); err == nil {
 			s, err := influmax.LoadSnapshot(path, g, workers, store)
@@ -132,7 +137,7 @@ func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, worke
 		}
 	}
 	start := time.Now()
-	s, err := influmax.BuildSketch(g, key, workers, sched, store, reg)
+	s, err := influmax.BuildSketch(g, key, workers, sched, kernel, store, reg)
 	if err != nil {
 		return nil, err
 	}

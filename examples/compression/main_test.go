@@ -12,8 +12,8 @@ func Example() {
 		panic(err)
 	}
 	// Output:
-	// flat : theta 1171, seeds [1138 507 920 1071 1110]
-	// coded: theta 1171, seeds [1138 507 920 1071 1110]
+	// flat : theta 1057, seeds [27 507 920 1071 1402]
+	// coded: theta 1057, seeds [27 507 920 1071 1402]
 	// seed sets identical: true
 	// same samples generated: true
 	// flat bytes match across runs: true

@@ -89,6 +89,32 @@ func ParseSchedule(s string) (Schedule, error) {
 	return 0, fmt.Errorf("unknown schedule %q (want dynamic or static)", s)
 }
 
+// Kernel selects the reverse-reachability sampling kernel. Both kernels
+// produce byte-identical collections and seeds in PerSample RNG mode; the
+// fused kernel is faster, the scalar kernel is the reference oracle (and
+// the only one that can consume worker-pinned LeapFrog streams).
+type Kernel = imm.Kernel
+
+// Sampling kernels.
+const (
+	// KernelFused is the fused CSR frontier kernel (batches of up to 64
+	// samples per pass, block-generated coins) — the default.
+	KernelFused = imm.KernelFused
+	// KernelScalar is the per-sample reverse-BFS/walk kernel.
+	KernelScalar = imm.KernelScalar
+)
+
+// ParseKernel parses "fused" or "scalar" (case-insensitive).
+func ParseKernel(s string) (Kernel, error) {
+	switch strings.ToLower(s) {
+	case "fused":
+		return KernelFused, nil
+	case "scalar":
+		return KernelScalar, nil
+	}
+	return 0, fmt.Errorf("unknown kernel %q (want fused or scalar)", s)
+}
+
 // StoreKind selects the in-memory representation of the finished RRR
 // sample store — the memory/decode-time trade-off of DESIGN.md §13. The
 // selected seeds are identical for every kind.
@@ -419,10 +445,11 @@ func Serve(cfg ServeConfig) (*SeedServer, error) { return server.New(cfg) }
 // BuildSketch samples a query-ready sketch for key over g — the full IMM
 // estimation + sampling pipeline at K = key.KMax, transcoded into the
 // byte-coded store selected by store and indexed. schedule picks the
-// sampling-loop schedule (neither the sketch content nor the query seeds
-// depend on it or on store); reg may be nil.
-func BuildSketch(g *Graph, key SketchKey, workers int, schedule Schedule, store StoreKind, reg *MetricsRegistry) (*Sketch, error) {
-	return server.BuildSketch(g, key, workers, schedule, store, reg)
+// sampling-loop schedule and kernel the sampling kernel (neither the
+// sketch content nor the query seeds depend on them or on store); reg may
+// be nil.
+func BuildSketch(g *Graph, key SketchKey, workers int, schedule Schedule, kernel Kernel, store StoreKind, reg *MetricsRegistry) (*Sketch, error) {
+	return server.BuildSketch(g, key, workers, schedule, kernel, store, reg)
 }
 
 // SaveSnapshot persists a sketch at path in the versioned, checksummed

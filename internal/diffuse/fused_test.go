@@ -1,0 +1,170 @@
+package diffuse
+
+import (
+	"slices"
+	"testing"
+
+	"influmax/internal/graph"
+	"influmax/internal/rng"
+)
+
+// scalarGenerate reproduces the per-sample scalar discipline the fused
+// kernel must match byte for byte: sample i draws its root and all its
+// coins from the stream rng.Derive(seed, base+i).
+func scalarGenerate(g *graph.Graph, model Model, seed, base uint64, count int) ([]graph.Vertex, []int32) {
+	s := NewSampler(g, model)
+	gen := rng.NewSplitMix64(0)
+	r := rng.New(gen)
+	n := g.NumVertices()
+	var verts []graph.Vertex
+	var sizes []int32
+	for i := 0; i < count; i++ {
+		gen.Reseed(seed, base+uint64(i))
+		root := graph.Vertex(r.Intn(n))
+		before := len(verts)
+		verts = s.GenerateRR(r, root, verts)
+		sizes = append(sizes, int32(len(verts)-before))
+	}
+	return verts, sizes
+}
+
+// TestFusedGenerateMatchesScalar is the kernel-level byte-identity gate:
+// for random graphs under IC, LT, and WC weights, Generate must emit the
+// exact vertex arena and size vector of sequential scalar GenerateRR calls
+// over the same per-sample streams — at full batches, partial batches, and
+// counts spanning several batches.
+func TestFusedGenerateMatchesScalar(t *testing.T) {
+	graphs := []struct {
+		seed uint64
+		n, m int
+	}{
+		{3, 40, 300},
+		{5, 120, 1000},
+		{9, 250, 2600},
+	}
+	models := []struct {
+		name  string
+		model Model
+		prep  func(g *graph.Graph, seed uint64)
+	}{
+		{"IC", IC, func(g *graph.Graph, seed uint64) { g.AssignUniform(seed) }},
+		{"LT", LT, func(g *graph.Graph, seed uint64) { g.AssignUniform(seed); g.NormalizeLT() }},
+		{"WC", IC, func(g *graph.Graph, seed uint64) { g.AssignWeightedCascade() }},
+	}
+	counts := []int{1, 8, MaxLanes - 1, MaxLanes, MaxLanes + 1, 3*MaxLanes + 17}
+	for _, gc := range graphs {
+		for _, mc := range models {
+			g := randomGraph(gc.seed, gc.n, gc.m)
+			mc.prep(g, gc.seed)
+			f := NewFusedSampler(g, mc.model)
+			for _, count := range counts {
+				base := uint64(1000) * gc.seed
+				wantV, wantS := scalarGenerate(g, mc.model, gc.seed, base, count)
+				gotV, gotS := f.Generate(gc.seed, base, count, nil, nil)
+				if !slices.Equal(gotV, wantV) || !slices.Equal(gotS, wantS) {
+					t.Fatalf("graph=%d model=%s count=%d: fused output != scalar",
+						gc.seed, mc.name, count)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedVisitedClearedBetweenBatches: the lane-mask visited bitset is
+// cleared by output walk, so a stale bit would corrupt a later batch that
+// reuses the lane. Running many consecutive batches through one sampler
+// against fresh-sampler references catches any leak.
+func TestFusedVisitedClearedBetweenBatches(t *testing.T) {
+	g := randomGraph(17, 60, 700)
+	g.AssignUniform(17)
+	f := NewFusedSampler(g, IC)
+	for round := 0; round < 5; round++ {
+		base := uint64(round * 200)
+		wantV, wantS := scalarGenerate(g, IC, 17, base, 150)
+		gotV, gotS := f.Generate(17, base, 150, nil, nil)
+		if !slices.Equal(gotV, wantV) || !slices.Equal(gotS, wantS) {
+			t.Fatalf("round %d: reused fused sampler diverged from scalar", round)
+		}
+	}
+}
+
+// TestFusedDegenerateGraphs sweeps the shapes that stress the kernel's
+// edge handling: no edges at all, self-loops (present in the CSR but never
+// re-added to a sample), isolated vertices mixed with a connected core,
+// and batch widths larger than the sample count (B > theta).
+func TestFusedDegenerateGraphs(t *testing.T) {
+	build := func(n int, edges [][2]int, w float32) *graph.Graph {
+		b := graph.NewBuilder(n)
+		for _, e := range edges {
+			b.Add(graph.Vertex(e[0]), graph.Vertex(e[1]), w)
+		}
+		return b.Build()
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", build(8, nil, 0)},
+		{"self-loops", build(6, [][2]int{{0, 0}, {1, 1}, {0, 1}, {1, 2}, {2, 0}, {5, 5}}, 0.9)},
+		{"isolated", build(10, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 0.8)},
+		{"single-edge", build(2, [][2]int{{0, 1}}, 1.0)},
+	}
+	for _, tc := range cases {
+		for _, model := range []Model{IC, LT} {
+			g := tc.g
+			if model == LT {
+				g.NormalizeLT()
+			}
+			f := NewFusedSampler(g, model)
+			// count=3 < MaxLanes exercises the B > theta partial batch.
+			for _, count := range []int{3, 100} {
+				wantV, wantS := scalarGenerate(g, model, 7, 0, count)
+				gotV, gotS := f.Generate(7, 0, count, nil, nil)
+				if !slices.Equal(gotV, wantV) || !slices.Equal(gotS, wantS) {
+					t.Fatalf("%s/%v count=%d: fused != scalar", tc.name, model, count)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedStats pins the telemetry contract: batches and root coins are
+// exact, occupancy is a valid fraction, and TakeStats drains.
+func TestFusedStats(t *testing.T) {
+	g := randomGraph(21, 80, 800)
+	g.AssignUniform(21)
+	f := NewFusedSampler(g, IC)
+	const count = 200
+	f.Generate(21, 0, count, nil, nil)
+	st := f.TakeStats()
+	wantBatches := int64((count + MaxLanes - 1) / MaxLanes)
+	if st.Batches != wantBatches {
+		t.Fatalf("Batches = %d, want %d", st.Batches, wantBatches)
+	}
+	if st.Passes < wantBatches {
+		t.Fatalf("Passes = %d, want >= %d (one per non-empty batch)", st.Passes, wantBatches)
+	}
+	// Every sample costs one root draw, and a connected graph draws edge
+	// coins on top.
+	if st.Coins <= count {
+		t.Fatalf("Coins = %d: want > one root draw per sample (%d)", st.Coins, count)
+	}
+	if occ := st.Occupancy(); occ <= 0 || occ > 1 {
+		t.Fatalf("Occupancy = %v, want in (0, 1]", occ)
+	}
+	if st.ActiveLanes > st.LaneSlots {
+		t.Fatalf("ActiveLanes %d > LaneSlots %d", st.ActiveLanes, st.LaneSlots)
+	}
+	if again := f.TakeStats(); again != (FusedStats{}) {
+		t.Fatalf("TakeStats did not reset: %+v", again)
+	}
+	var sum FusedStats
+	sum.Add(st)
+	sum.Add(st)
+	if sum.Passes != 2*st.Passes || sum.Coins != 2*st.Coins {
+		t.Fatalf("Add did not accumulate: %+v", sum)
+	}
+	if (FusedStats{}).Occupancy() != 0 {
+		t.Fatal("zero-pass occupancy must be 0")
+	}
+}

@@ -37,6 +37,11 @@ type Options struct {
 	// work-stealing by default; LeapFrog forces static). Must agree across
 	// ranks, though in PerSample mode the result does not depend on it.
 	Schedule imm.Schedule
+	// Kernel selects the intra-rank sampling kernel (imm.KernelFused by
+	// default; leap-frog runs fall back to the scalar kernel, which is the
+	// only one that can consume worker-pinned streams). Must agree across
+	// ranks, though in PerSample mode the result does not depend on it.
+	Kernel imm.Kernel
 	// Store selects each rank's resident store for the final selection:
 	// imm.StoreCoded transcodes the rank's shard into the byte-coded store
 	// after sampling, under a rank-local frequency relabeling (each shard
@@ -120,7 +125,7 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 			opt.ThreadsPerRank = 1
 		}
 	}
-	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1, Store: opt.Store}
+	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1, Store: opt.Store, Kernel: opt.Kernel}
 	if err := validate(iopt, g.NumVertices()); err != nil {
 		return nil, err
 	}
@@ -134,7 +139,7 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 	}
 	st.sampler = imm.NewBatchSampler(g, imm.Options{
 		Model: opt.Model, Workers: st.threads, Seed: opt.Seed,
-		RNG: opt.RNG, Schedule: opt.Schedule,
+		RNG: opt.RNG, Schedule: opt.Schedule, Kernel: opt.Kernel,
 	})
 	if opt.RNG == imm.LeapFrog {
 		// One global sequence split across size*threads consumers: the

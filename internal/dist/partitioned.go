@@ -62,6 +62,12 @@ type PartOptions struct {
 	// work-stealing by default; the per-wave sorting work is as skewed as
 	// the RRR set sizes themselves).
 	Schedule imm.Schedule
+	// Kernel is accepted for symmetry with dist.Options and validated;
+	// the graph-partitioned wave expansion batches every in-flight sample
+	// over each rank's shard by construction (each superstep is one fused
+	// pass over the local CSR), so there is no separate scalar path to
+	// select and the result does not depend on it.
+	Kernel imm.Kernel
 	// Store selects each rank's resident store for the final selection,
 	// exactly as dist.Options.Store: imm.StoreCoded transcodes the rank's
 	// vertex-partitioned shard after sampling under a rank-local frequency
@@ -224,7 +230,7 @@ func RunPartitioned(c mpi.Comm, g *graph.Graph, opt PartOptions) (*PartResult, e
 	if opt.Threads <= 0 {
 		opt.Threads = 1
 	}
-	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1, Store: opt.Store}
+	iopt := imm.Options{K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, L: opt.L, Workers: 1, Store: opt.Store, Kernel: opt.Kernel}
 	if err := validate(iopt, g.NumVertices()); err != nil {
 		return nil, err
 	}

@@ -94,10 +94,12 @@ func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
 
 // RMAT returns a recursive-matrix (Kronecker-like) graph over n vertices
 // with m edges and quadrant probabilities (a, b, c, 1-a-b-c). Endpoints
-// falling outside [0, n) (when n is not a power of two) and self-loops are
-// rejected and redrawn, so the graph has exactly m edges. Higher a
-// produces heavier degree skew — the signature of social networks like
-// com-YouTube and com-Orkut.
+// falling outside [0, n) (when n is not a power of two), self-loops, and
+// previously drawn pairs are all rejected and redrawn, so the result is a
+// simple graph with exactly m distinct edges — like the SNAP social
+// networks these analogs stand in for, which record each follower
+// relation once. Higher a produces heavier degree skew — the signature of
+// social networks like com-YouTube and com-Orkut.
 func RMAT(n, m int, a, b, c float64, seed uint64) *graph.Graph {
 	if n < 2 {
 		panic("gen: RMAT needs n >= 2")
@@ -111,6 +113,7 @@ func RMAT(n, m int, a, b, c float64, seed uint64) *graph.Graph {
 	}
 	r := rng.New(rng.NewLCG(seed))
 	bld := graph.NewBuilder(n)
+	seen := make(map[uint64]struct{}, m)
 	for i := 0; i < m; i++ {
 		for {
 			u, v := 0, 0
@@ -131,6 +134,11 @@ func RMAT(n, m int, a, b, c float64, seed uint64) *graph.Graph {
 			if u >= n || v >= n || u == v {
 				continue
 			}
+			key := uint64(u)<<32 | uint64(v)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
 			bld.Add(graph.Vertex(u), graph.Vertex(v), 0)
 			break
 		}

@@ -70,6 +70,14 @@ func (g *Graph) InNeighbors(v Vertex) ([]Vertex, []float32) {
 	return g.inSrc[lo:hi], g.inW[lo:hi]
 }
 
+// InSources returns just the sources of v's incoming edges — the hot-loop
+// variant of InNeighbors for kernels that carry edge weights separately
+// (e.g. precomputed integer coin thresholds). The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) InSources(v Vertex) []Vertex {
+	return g.inSrc[g.inOff[v]:g.inOff[v+1]]
+}
+
 // OutEdgeBase returns the global out-CSR slot of v's first outgoing edge;
 // slot OutEdgeBase(v)+i identifies the i-th edge of OutNeighbors(v) stably,
 // which the common-random-numbers cascade uses as the edge's coin identity.

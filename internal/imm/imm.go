@@ -46,6 +46,20 @@ type Result struct {
 	Phases trace.Times
 	// Workers is the resolved thread count.
 	Workers int
+	// Kernel is the sampling kernel the run was configured with (the
+	// effective kernel can differ: LeapFrog RNG falls back to scalar).
+	Kernel Kernel
+	// FrontierPasses is the number of fused frontier passes executed
+	// (zero under the scalar kernel).
+	FrontierPasses int64
+	// CoinsGenerated is the number of pseudorandom coins the fused kernel
+	// generated in blocks (zero under the scalar kernel, which draws
+	// per-edge instead).
+	CoinsGenerated int64
+	// BatchOccupancy is the mean fraction of fused lane slots holding a
+	// live frontier per pass (0 under the scalar kernel; 1.0 = every lane
+	// of every pass was live).
+	BatchOccupancy float64
 	// WorkBalance is avg/max of per-worker sampling work (1.0 = perfect):
 	// the load balance that bounds sampling-phase scaling efficiency.
 	WorkBalance float64
@@ -110,6 +124,10 @@ func samplePipeline(g *graph.Graph, opt Options, res *Result) (*rrr.Collection, 
 func finishRun(res *Result, st *BatchSampler, opt Options) {
 	res.WorkBalance = st.WorkBalance()
 	res.WorkerWork = append([]int64(nil), st.Work...)
+	fs := st.FusedStats()
+	res.FrontierPasses = fs.Passes
+	res.CoinsGenerated = fs.Coins
+	res.BatchOccupancy = fs.Occupancy()
 	if opt.Metrics != nil {
 		// Permille, because gauges are integers: 1000 = perfectly balanced.
 		opt.Metrics.Gauge("rrr/balance").Set(int64(res.WorkBalance * 1000))
@@ -118,7 +136,7 @@ func finishRun(res *Result, st *BatchSampler, opt Options) {
 }
 
 func newResult(opt Options) *Result {
-	res := &Result{Algorithm: "IMMopt", Workers: opt.Workers, Store: opt.Store}
+	res := &Result{Algorithm: "IMMopt", Workers: opt.Workers, Store: opt.Store, Kernel: opt.Kernel}
 	if opt.Workers > 1 {
 		res.Algorithm = "IMMmt"
 	}

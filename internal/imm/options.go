@@ -87,6 +87,38 @@ func (s Schedule) String() string {
 	return fmt.Sprintf("Schedule(%d)", uint8(s))
 }
 
+// Kernel selects the reverse-reachability sampling kernel.
+type Kernel uint8
+
+const (
+	// KernelFused is the fused CSR frontier kernel (diffuse.FusedSampler):
+	// batches of up to 64 samples expand level-synchronously in one pass
+	// over the shared in-CSR, with visited sets packed one bit per lane
+	// into a single word per vertex and edge coins pre-generated in blocks
+	// from each sample's own SplitMix64 stream. In PerSample RNG mode the
+	// generated collection is byte-identical to the scalar kernel (each
+	// lane consumes its stream in scalar order — DESIGN.md §14), so fused
+	// is the default. LeapFrog mode silently falls back to scalar, because
+	// its worker-pinned streams interleave all of a worker's samples on
+	// one sequence, which a batched expansion cannot reproduce.
+	KernelFused Kernel = iota
+	// KernelScalar is the per-sample reverse-BFS/walk kernel
+	// (diffuse.Sampler) — the original paper kernel, kept as the
+	// byte-identical equivalence oracle.
+	KernelScalar
+)
+
+// String names the kernel, matching the CLI -kernel flag values.
+func (k Kernel) String() string {
+	switch k {
+	case KernelFused:
+		return "fused"
+	case KernelScalar:
+		return "scalar"
+	}
+	return fmt.Sprintf("Kernel(%d)", uint8(k))
+}
+
 // StoreKind selects the in-memory representation of the finished RRR
 // sample collection — the store the final seed selection runs over.
 type StoreKind uint8
@@ -137,6 +169,10 @@ type Options struct {
 	// default; see ScheduleDynamic for when the two produce identical
 	// collections).
 	Schedule Schedule
+	// Kernel selects the sampling kernel (fused CSR frontier batches by
+	// default; see KernelFused for when the two produce identical
+	// collections — always, in PerSample RNG mode).
+	Kernel Kernel
 	// Store selects the representation of the finished sample collection
 	// (flat arena by default; StoreCoded trades decode time during seed
 	// selection for a >= 3x smaller store). Seeds are identical either way.
@@ -182,6 +218,9 @@ func (o Options) validate(n int) error {
 	}
 	if o.Schedule > ScheduleStatic {
 		return fmt.Errorf("imm: unknown schedule %d", uint8(o.Schedule))
+	}
+	if o.Kernel > KernelScalar {
+		return fmt.Errorf("imm: unknown kernel %d", uint8(o.Kernel))
 	}
 	if o.Store > StoreCoded {
 		return fmt.Errorf("imm: unknown store kind %d", uint8(o.Store))

@@ -36,12 +36,17 @@ type BatchSampler struct {
 
 	streams  []*rng.Rand // worker-pinned substreams (nil in PerSample mode)
 	samplers []*diffuse.Sampler
-	gens     []*rng.SplitMix64 // pooled per-sample generators (PerSample mode)
-	rands    []*rng.Rand       // pooled wrappers over gens
+	fused    []*diffuse.FusedSampler // per-worker fused kernels (KernelFused, PerSample mode)
+	gens     []*rng.SplitMix64       // pooled per-sample generators (PerSample mode)
+	rands    []*rng.Rand             // pooled wrappers over gens
 	arenas   []batchArena
 	merge    []chunkRec // scratch for the deterministic chunk merge
 
 	naiveBuf []graph.Vertex // scratch for the sequential baseline path
+
+	// fusedTotals accumulates the fused kernel's work counters across all
+	// Sample calls (all workers); see diffuse.FusedStats.
+	fusedTotals diffuse.FusedStats
 
 	// Work accumulates, per worker, the number of RRR-set entries it
 	// generated: the sampling-load balance across workers bounds the
@@ -52,11 +57,14 @@ type BatchSampler struct {
 
 	// Instrumentation resolved once from Options.Metrics (all nil when
 	// metrics are disabled, keeping the hot path branch-and-go).
-	mSamples *metrics.Counter
-	mEntries *metrics.Counter
-	mSize    *metrics.Histogram
-	mSteals  *metrics.Counter
-	mChunks  *metrics.Counter
+	mSamples   *metrics.Counter
+	mEntries   *metrics.Counter
+	mSize      *metrics.Histogram
+	mSteals    *metrics.Counter
+	mChunks    *metrics.Counter
+	mPasses    *metrics.Counter
+	mCoins     *metrics.Counter
+	mOccupancy *metrics.Gauge
 }
 
 // batchArena buffers one worker's freshly generated chunks before the
@@ -66,6 +74,7 @@ type batchArena struct {
 	verts   []graph.Vertex
 	offsets []int64
 	recs    []chunkRec
+	sizes   []int32 // fused-kernel scratch: per-sample cardinalities
 }
 
 // chunkRec locates one executed chunk's output inside a worker's arena.
@@ -97,6 +106,18 @@ func NewBatchSampler(g *graph.Graph, opt Options) *BatchSampler {
 		b.gens[w] = rng.NewSplitMix64(0) // re-pointed per sample via Reseed
 		b.rands[w] = rng.New(b.gens[w])
 	}
+	if opt.Kernel == KernelFused && opt.RNG != LeapFrog {
+		// The fused kernel requires per-sample stream derivation; a
+		// leap-frog run keeps the scalar kernel (see KernelFused). The
+		// read-only coin-threshold tables are built once and shared by
+		// every worker's sampler — they scale with the edge count, where
+		// the per-worker scratch scales with the vertex count.
+		shared := diffuse.NewFusedShared(g, opt.Model)
+		b.fused = make([]*diffuse.FusedSampler, opt.Workers)
+		for w := range b.fused {
+			b.fused[w] = diffuse.NewFusedSamplerShared(g, opt.Model, shared)
+		}
+	}
 	if opt.RNG == LeapFrog {
 		base := rng.NewLCG(opt.Seed)
 		b.streams = make([]*rng.Rand, opt.Workers)
@@ -110,6 +131,11 @@ func NewBatchSampler(g *graph.Graph, opt Options) *BatchSampler {
 		b.mSize = opt.Metrics.Histogram("rrr/size")
 		b.mSteals = opt.Metrics.Counter("par/steals")
 		b.mChunks = opt.Metrics.Counter("par/chunks")
+		if b.fused != nil {
+			b.mPasses = opt.Metrics.Counter("rrr/frontier-passes")
+			b.mCoins = opt.Metrics.Counter("rrr/coins-generated")
+			b.mOccupancy = opt.Metrics.Gauge("rrr/batch-occupancy")
+		}
 	}
 	return b
 }
@@ -169,24 +195,38 @@ func (b *BatchSampler) SampleAt(col *rrr.Collection, base uint64, count int) {
 		a.recs = a.recs[:0]
 	}
 
+	pinned := b.streams != nil
+	useFused := b.fused != nil && !pinned
 	run := func(rank, lo, hi int) {
 		a := &b.arenas[rank]
-		sampler := b.samplers[rank]
 		v0, o0 := len(a.verts), len(a.offsets)
 		a.offsets = append(a.offsets, 0)
-		stream := b.rands[rank]
-		pinned := b.streams != nil
-		if pinned {
-			stream = b.streams[rank]
-		}
-		gen := b.gens[rank]
-		for i := lo; i < hi; i++ {
-			if !pinned {
-				gen.Reseed(b.opt.Seed, base+uint64(i))
+		if useFused {
+			// Fused CSR frontier kernel: the chunk's samples expand in
+			// batches of up to diffuse.MaxLanes per pass; the appended
+			// layout is byte-identical to the scalar loop below.
+			a.sizes = a.sizes[:0]
+			a.verts, a.sizes = b.fused[rank].Generate(b.opt.Seed, base+uint64(lo), hi-lo, a.verts, a.sizes)
+			off := int64(0)
+			for _, sz := range a.sizes {
+				off += int64(sz)
+				a.offsets = append(a.offsets, off)
 			}
-			root := graph.Vertex(stream.Intn(n))
-			a.verts = sampler.GenerateRR(stream, root, a.verts)
-			a.offsets = append(a.offsets, int64(len(a.verts)-v0))
+		} else {
+			sampler := b.samplers[rank]
+			stream := b.rands[rank]
+			if pinned {
+				stream = b.streams[rank]
+			}
+			gen := b.gens[rank]
+			for i := lo; i < hi; i++ {
+				if !pinned {
+					gen.Reseed(b.opt.Seed, base+uint64(i))
+				}
+				root := graph.Vertex(stream.Intn(n))
+				a.verts = sampler.GenerateRR(stream, root, a.verts)
+				a.offsets = append(a.offsets, int64(len(a.verts)-v0))
+			}
 		}
 		a.recs = append(a.recs, chunkRec{lo: lo, worker: rank, v0: v0, v1: len(a.verts), o0: o0, o1: len(a.offsets)})
 		b.Work[rank] += int64(len(a.verts) - v0)
@@ -195,7 +235,7 @@ func (b *BatchSampler) SampleAt(col *rrr.Collection, base uint64, count int) {
 	// Pinned streams (LeapFrog) make randomness a function of the executing
 	// worker, so only the static split keeps them well-defined; everything
 	// else goes through the work-stealing loop unless static was requested.
-	if b.opt.Schedule == ScheduleDynamic && b.streams == nil && p > 1 {
+	if b.opt.Schedule == ScheduleDynamic && !pinned && p > 1 {
 		st := par.DynamicSteal(count, p, minDynamicChunk, run)
 		b.steals += st.Steals
 		b.chunks += st.Chunks
@@ -232,8 +272,34 @@ func (b *BatchSampler) SampleAt(col *rrr.Collection, base uint64, count int) {
 		a := &b.arenas[r.worker]
 		col.AppendArena(a.verts[r.v0:r.v1], a.offsets[r.o0:r.o1])
 	}
+	if useFused {
+		b.recordFused(p)
+	}
 	b.recordRange(col, first)
 }
+
+// recordFused drains the per-worker fused-kernel counters into the
+// cumulative totals and the optional metrics registry. Pass and batch
+// counts depend on chunk boundaries (schedule telemetry, like steal
+// counts); coin and occupancy aggregates are near-schedule-independent.
+func (b *BatchSampler) recordFused(p int) {
+	var delta diffuse.FusedStats
+	for w := 0; w < p; w++ {
+		delta.Add(b.fused[w].TakeStats())
+	}
+	b.fusedTotals.Add(delta)
+	if b.mPasses != nil {
+		b.mPasses.Add(delta.Passes)
+		b.mCoins.Add(delta.Coins)
+		// Permille, because gauges are integers: 1000 = every lane of
+		// every pass held a live frontier.
+		b.mOccupancy.Set(int64(b.fusedTotals.Occupancy() * 1000))
+	}
+}
+
+// FusedStats returns the fused kernel's cumulative work counters (zero
+// when the scalar kernel ran).
+func (b *BatchSampler) FusedStats() diffuse.FusedStats { return b.fusedTotals }
 
 // recordRange feeds the samples col gained since count was first into the
 // optional metrics registry: sample and entry counters plus the

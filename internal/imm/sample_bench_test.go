@@ -2,28 +2,90 @@ package imm
 
 import (
 	"testing"
+	"time"
 
 	"influmax/internal/diffuse"
 	"influmax/internal/gen"
+	"influmax/internal/graph"
 	"influmax/internal/rrr"
 )
 
-// BenchmarkSampleBatch compares the static contiguous split against the
-// work-stealing schedule on a skewed soc-LiveJournal1 analog with a
-// near-critical constant edge probability (Tang et al.'s constant-p
-// setup): reverse cascades over the power-law graph are heavy-tailed —
-// most RRR sets are tiny, a few span thousands of vertices — which is
-// exactly the load imbalance the dynamic schedule exists to absorb. The
-// balance metric is the mean/max ratio of per-worker entry counts
-// (1000 = perfectly even); on single-core CI only balance is meaningful,
-// wall-clock speedup needs parallel hardware.
-func BenchmarkSampleBatch(b *testing.B) {
+// stopwatch returns fn's wall-clock duration in seconds.
+func stopwatch(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+// benchGraph builds the soc-LiveJournal1 analog the sampling benchmarks
+// share: a skewed power-law graph whose reverse cascades are heavy-tailed —
+// most RRR sets are tiny, a few span thousands of vertices.
+func benchGraph(b *testing.B, weights func(*graph.Graph)) *graph.Graph {
+	b.Helper()
 	d, err := gen.ByName("soc-LiveJournal1")
 	if err != nil {
 		b.Fatal(err)
 	}
 	g := d.Generate(0.002, 1)
-	g.AssignConstant(0.06)
+	weights(g)
+	return g
+}
+
+// BenchmarkSampleBatch compares the scalar per-sample kernel against the
+// fused CSR frontier kernel on the soc-LiveJournal1 analog, under both the
+// near-critical constant-p IC setup (Tang et al.) and weighted-cascade
+// weights. The two kernels produce byte-identical collections (see
+// TestFusedMatchesScalar); only the cost per sample differs — the fused
+// kernel amortizes RNG and CSR traversal over 64-sample batches, which is
+// the speedup the bench-gate CI job pins. Sub-benchmark names are
+// <kernel>/<weights>; the CI gate consumes scalar/* and fused/*.
+func BenchmarkSampleBatch(b *testing.B) {
+	weightings := []struct {
+		name    string
+		weights func(*graph.Graph)
+	}{
+		{"IC", func(g *graph.Graph) { g.AssignConstant(0.06) }},
+		{"WC", func(g *graph.Graph) { g.AssignWeightedCascade() }},
+	}
+	const count = 20000
+	const workers = 8
+	for _, kc := range []struct {
+		name   string
+		kernel Kernel
+	}{
+		{"scalar", KernelScalar},
+		{"fused", KernelFused},
+	} {
+		for _, wc := range weightings {
+			b.Run(kc.name+"/"+wc.name, func(b *testing.B) {
+				g := benchGraph(b, wc.weights)
+				bs := NewBatchSampler(g, Options{
+					Model: diffuse.IC, Workers: workers, Seed: 7, Kernel: kc.kernel,
+				})
+				col := rrr.NewCollection(g.NumVertices())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					col.Truncate(0)
+					bs.Sample(col, count)
+				}
+				b.StopTimer()
+				b.ReportMetric(bs.WorkBalance()*1000, "balance‰")
+				b.ReportMetric(float64(col.TotalSize())/count, "entries/sample")
+				if st := bs.FusedStats(); st.Batches > 0 {
+					b.ReportMetric(st.Occupancy()*1000, "occupancy‰")
+					b.ReportMetric(float64(st.Coins)/float64(b.N), "coins/op")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSampleSchedules keeps the schedule comparison of the
+// work-stealing PR: static contiguous split vs guided stealing, scalar
+// kernel, constant-p IC. On single-core CI only the balance metric is
+// meaningful; wall-clock speedup needs parallel hardware.
+func BenchmarkSampleSchedules(b *testing.B) {
+	g := benchGraph(b, func(g *graph.Graph) { g.AssignConstant(0.06) })
 	const count = 20000
 	const workers = 8
 	for _, tc := range []struct {
@@ -35,7 +97,7 @@ func BenchmarkSampleBatch(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			bs := NewBatchSampler(g, Options{
-				Model: diffuse.IC, Workers: workers, Seed: 7, Schedule: tc.sched,
+				Model: diffuse.IC, Workers: workers, Seed: 7, Schedule: tc.sched, Kernel: KernelScalar,
 			})
 			col := rrr.NewCollection(g.NumVertices())
 			b.ResetTimer()
@@ -47,6 +109,66 @@ func BenchmarkSampleBatch(b *testing.B) {
 			b.ReportMetric(bs.WorkBalance()*1000, "balance‰")
 			b.ReportMetric(float64(bs.Steals())/float64(b.N), "steals/op")
 			b.ReportMetric(float64(col.TotalSize())/count, "entries/sample")
+		})
+	}
+}
+
+// TestFusedSpeedupGate is the tentpole's acceptance gate: on the
+// soc-LiveJournal1 analog the fused kernel must beat the scalar kernel by
+// a wide margin under both IC (constant-p) and WC weights. On the
+// reference machine the fused kernel measures ~2.8x under constant-p IC
+// and ~1.7-2.1x under WC (WC draws far fewer coins per visited test, and
+// its decide loop is pinned to two 64-bit multiplies per coin by
+// byte-identity with the SplitMix64 stream, so less dispatch overhead is
+// amortized away). The asserted floors sit well below those typical
+// ratios because best-of-N wall clock on a busy CI core still jitters by
+// tens of percent; the CI bench-gate job (cmd/benchdiff over committed
+// baselines) is the fine-grained regression tripwire, while this test
+// catches the kernel losing its advantage outright. Skipped in -short
+// mode: it samples tens of thousands of heavy-tailed cascades per timing.
+func TestFusedSpeedupGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup gate needs full-size sampling runs")
+	}
+	d, err := gen.ByName("soc-LiveJournal1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wc := range []struct {
+		name    string
+		weights func(*graph.Graph)
+		floor   float64
+	}{
+		{"IC", func(g *graph.Graph) { g.AssignConstant(0.06) }, 1.6},
+		{"WC", func(g *graph.Graph) { g.AssignWeightedCascade() }, 1.25},
+	} {
+		t.Run(wc.name, func(t *testing.T) {
+			g := d.Generate(0.002, 1)
+			wc.weights(g)
+			const count = 6000
+			const trials = 3
+			time := func(kernel Kernel) float64 {
+				bs := NewBatchSampler(g, Options{
+					Model: diffuse.IC, Workers: 1, Seed: 7, Kernel: kernel,
+				})
+				col := rrr.NewCollection(g.NumVertices())
+				best := 0.0
+				for i := 0; i < trials; i++ {
+					col.Truncate(0)
+					sec := stopwatch(func() { bs.Sample(col, count) })
+					if best == 0 || sec < best {
+						best = sec
+					}
+				}
+				return best
+			}
+			scalar := time(KernelScalar)
+			fused := time(KernelFused)
+			speedup := scalar / fused
+			t.Logf("%s: scalar %.3fs, fused %.3fs, speedup %.2fx", wc.name, scalar, fused, speedup)
+			if speedup < wc.floor {
+				t.Fatalf("fused kernel speedup %.2fx < %.2fx floor over scalar (%s weights)", speedup, wc.floor, wc.name)
+			}
 		})
 	}
 }

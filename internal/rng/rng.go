@@ -117,6 +117,35 @@ func Mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64Hi24 returns the top 24 bits of Mix64(z), skipping the finalizer's
+// last xor-shift: z ^= z >> 31 only alters bits 0..32, so bits 63..40 of
+// the second product stage already equal the finalized output's. Coin
+// kernels that compare only these bits against an integer threshold (the
+// IC decide loops) save two operations per draw without changing a single
+// decision.
+func Mix64Hi24(z uint64) uint32 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return uint32(z >> 40)
+}
+
+// SplitMixGamma is the SplitMix64 state increment (the Weyl constant).
+// Exported so batch kernels can advance a raw SplitMix64 state inline —
+// state += SplitMixGamma; value = Mix64(state) — generating coin blocks
+// without an interface call per draw. The sequence is bit-identical to
+// SplitMix64.Uint64 from the same state.
+const SplitMixGamma uint64 = 0x9e3779b97f4a7c15
+
+// SplitMixState returns the raw initial state of the stream
+// Derive(seed, index) / Reseed(seed, index): the value such that repeated
+// state += SplitMixGamma; Mix64(state) reproduces that stream exactly.
+// It is the inline-kernel counterpart of Reseed.
+func SplitMixState(seed, index uint64) uint64 {
+	// Mirror of Reseed: the index is passed through the finalizer so that
+	// adjacent indices do not yield shifted copies of one another.
+	return Mix64(Mix64(seed^0x632be59bd9b4e019) ^ (index * 0xd1342543de82ef95))
+}
+
 // SplitMix64 is the SplitMix64 generator: a 64-bit counter passed through
 // Mix64. It is used for per-sample randomness derivation and as an
 // ablation alternative to the leap-frog LCG.
@@ -127,7 +156,7 @@ func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
 
 // Uint64 returns the next value of the stream.
 func (g *SplitMix64) Uint64() uint64 {
-	g.state += 0x9e3779b97f4a7c15
+	g.state += SplitMixGamma
 	return Mix64(g.state)
 }
 
@@ -145,10 +174,7 @@ func Derive(seed, index uint64) *SplitMix64 {
 // so a per-worker generator can be re-pointed at each sample's stream
 // without allocating a generator per sample.
 func (g *SplitMix64) Reseed(seed, index uint64) {
-	// The index is passed through the finalizer so that adjacent indices do
-	// not yield shifted copies of one another (SplitMix64 streams whose
-	// states differ by small multiples of the increment would).
-	g.state = Mix64(Mix64(seed^0x632be59bd9b4e019) ^ (index * 0xd1342543de82ef95))
+	g.state = SplitMixState(seed, index)
 }
 
 // Xoshiro256 is the xoshiro256** generator of Blackman and Vigna.

@@ -40,6 +40,10 @@ type Config struct {
 	// Schedule is the sampling-loop schedule for sketch builds (dynamic
 	// work-stealing by default; sketch content does not depend on it).
 	Schedule imm.Schedule
+	// Kernel is the sampling kernel for sketch builds (fused CSR frontier
+	// batches by default; sketch content does not depend on it — the two
+	// kernels are byte-identical in the per-sample RNG mode builds use).
+	Kernel imm.Kernel
 	// Store is the RRR store kind sketches are built and served under
 	// (flat identity labeling by default; imm.StoreCoded serves from the
 	// frequency-relabeled byte-coded store — same query seeds, >= 3x
@@ -292,7 +296,7 @@ func (s *Server) writeBackoff(w http.ResponseWriter, status int, format string, 
 func (s *Server) sketchFor(ctx context.Context, key SketchKey) (*Sketch, bool, error) {
 	sk, hit, err := s.cache.get(ctx, key, func() (*Sketch, error) {
 		s.mBuilds.Inc()
-		return BuildSketch(s.cfg.Graph, key, s.cfg.Workers, s.cfg.Schedule, s.cfg.Store, s.reg)
+		return BuildSketch(s.cfg.Graph, key, s.cfg.Workers, s.cfg.Schedule, s.cfg.Kernel, s.cfg.Store, s.reg)
 	})
 	s.mSketches.Set(int64(s.cache.len()))
 	return sk, hit, err

@@ -66,12 +66,14 @@ type Sketch struct {
 // run built over the coded store is reused as-is. schedule picks the
 // sampling-loop schedule; the sketch content does not depend on it
 // (builds run in PerSample RNG mode), and the query seeds do not depend
-// on store.
-func BuildSketch(g *graph.Graph, key SketchKey, workers int, schedule imm.Schedule, store imm.StoreKind, reg *metrics.Registry) (*Sketch, error) {
+// on store. kernel picks the sampling kernel; builds run in PerSample
+// RNG mode, where the fused and scalar kernels are byte-identical, so it
+// is a pure speed knob.
+func BuildSketch(g *graph.Graph, key SketchKey, workers int, schedule imm.Schedule, kernel imm.Kernel, store imm.StoreKind, reg *metrics.Registry) (*Sketch, error) {
 	opt := imm.Options{
 		K: key.KMax, Epsilon: key.Epsilon, Model: key.Model,
 		Workers: workers, Seed: key.Seed, Schedule: schedule,
-		Store: store, Metrics: reg,
+		Kernel: kernel, Store: store, Metrics: reg,
 	}
 	res, coded, idx, err := imm.RunSketch(g, opt)
 	if err != nil {
