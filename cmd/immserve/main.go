@@ -8,7 +8,11 @@
 //	    -snapshot lj.snap -addr 127.0.0.1:8080
 //
 // Endpoints: POST /v1/seeds ({"k": 10}), GET /healthz, GET /v1/metrics,
-// and /debug/pprof/ with -pprof. Saturation (past -concurrency running
+// and /debug/pprof/ with -pprof. With -dynamic, POST /v1/graph/delta
+// accepts edge mutation batches ({"ops":[{"op":"insert","src":0,"dst":1,
+// "w":0.2}]}) and the sketch is maintained incrementally; on shutdown the
+// mutated state (samples + replayable delta log) is persisted back to
+// -snapshot for a warm restart. Saturation (past -concurrency running
 // plus -queue waiting) is answered 429 + Retry-After; SIGINT/SIGTERM
 // drains in-flight queries (bounded by -drain-timeout) before exit.
 package main
@@ -46,6 +50,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-query budget (queue wait + sketch build)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight queries on shutdown")
 		snapshot     = flag.String("snapshot", "", "sketch snapshot path: loaded if present, written after sampling otherwise")
+		dynamic      = flag.Bool("dynamic", false, "dynamic-graph mode: accept edge mutations at POST /v1/graph/delta, maintain the sketch incrementally")
+		policyStr    = flag.String("weight-policy", "explicit", "dynamic mode: weight re-derivation after a mutation batch: explicit or wc")
 		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -66,6 +72,10 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	policy, err := influmax.ParseWeightPolicy(*policyStr)
+	if err != nil {
+		fatal("%v", err)
+	}
 	g, err := loadGraph(*graphPath, *binary, *dataset, *scale, *seed, *weights)
 	if err != nil {
 		fatal("%v", err)
@@ -81,7 +91,17 @@ func main() {
 		GraphDigest: g.Digest(), Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
 	}
 	reg := influmax.NewMetricsRegistry()
-	sketch, err := prepareSketch(g, key, *snapshot, *workers, sched, kernel, store, reg)
+	var sketch *influmax.Sketch
+	if *dynamic {
+		// Dynamic mode: a snapshot, when present, warm-restarts the
+		// mutated state (its delta log is replayed over the base graph);
+		// otherwise Serve samples the initial sketch itself. The static
+		// sample-then-persist path does not apply — the sketch keeps
+		// changing, so it is persisted after the drain instead.
+		sketch, err = loadWarmSketch(g, key, *snapshot, *workers, store)
+	} else {
+		sketch, err = prepareSketch(g, key, *snapshot, *workers, sched, kernel, store, reg)
+	}
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -90,7 +110,7 @@ func main() {
 		Graph: g, Model: model, Epsilon: *eps, KMax: *kMax, Seed: *seed,
 		Workers: *workers, Schedule: sched, Kernel: kernel, Store: store, MaxConcurrent: *concurrency, MaxQueue: *queue,
 		QueryTimeout: *timeout, Metrics: reg, EnablePprof: *pprofOn,
-		Sketch: sketch,
+		Sketch: sketch, Dynamic: *dynamic, WeightPolicy: policy,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -114,7 +134,37 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal("drain: %v", err)
 	}
+	if *dynamic && *snapshot != "" {
+		sk := srv.ServingSketch()
+		if err := influmax.SaveSnapshot(*snapshot, sk); err != nil {
+			fatal("persisting dynamic sketch: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "immserve: dynamic sketch persisted to %s (epoch %d)\n", *snapshot, sk.DeltaEpoch)
+	}
 	fmt.Fprintln(os.Stderr, "immserve: drained, bye")
+}
+
+// loadWarmSketch resolves the dynamic-mode warm start: a snapshot at path
+// (written by a previous dynamic run's drain) restores the mutated state;
+// no snapshot means Serve builds the initial sketch from the graph.
+func loadWarmSketch(g *influmax.Graph, key influmax.SketchKey, path string, workers int, store influmax.StoreKind) (*influmax.Sketch, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if _, err := os.Stat(path); err != nil {
+		return nil, nil
+	}
+	s, err := influmax.LoadSnapshot(path, g, workers, store)
+	if err != nil {
+		return nil, err
+	}
+	if s.Key != key {
+		return nil, fmt.Errorf("snapshot %s was sampled with (%s), flags say (%s); delete it or match the flags",
+			path, s.Key, key)
+	}
+	fmt.Fprintf(os.Stderr, "immserve: dynamic sketch warm-started from %s (theta %d, epoch %d)\n",
+		path, s.Theta, s.DeltaEpoch)
+	return s, nil
 }
 
 // prepareSketch resolves the resident sketch: a valid snapshot at path

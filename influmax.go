@@ -464,6 +464,57 @@ func LoadSnapshot(path string, g *Graph, workers int, store StoreKind) (*Sketch,
 	return server.LoadSketch(path, g, workers, store, 0)
 }
 
+// Dynamic-graph surface: edge mutations over an immutable CSR and
+// incremental RRR sketch maintenance (DESIGN.md §15). A dynamic server
+// (ServeConfig.Dynamic) exposes these over POST /v1/graph/delta.
+type (
+	// DeltaOp is one edge mutation: insert Src->Dst with weight W, or
+	// delete Src->Dst.
+	DeltaOp = graph.DeltaOp
+	// DeltaOpKind discriminates insert from delete.
+	DeltaOpKind = graph.DeltaOpKind
+	// Delta is one ordered, atomically applied batch of edge mutations.
+	Delta = graph.Delta
+	// DeltaError is the typed rejection of an invalid batch (surfaced as
+	// HTTP 400 by the delta endpoint; the sketch is left untouched).
+	DeltaError = graph.DeltaError
+	// GraphOverlay stages one Delta over an immutable base graph;
+	// Compact materializes the mutated CSR.
+	GraphOverlay = graph.Overlay
+	// DynamicSketch is a resident RRR sketch that tracks a mutating
+	// graph, repairing exactly the affected samples per batch.
+	DynamicSketch = imm.DynamicSketch
+	// DeltaStats accumulates maintenance telemetry across batches.
+	DeltaStats = imm.DeltaStats
+	// DeltaBatchResult reports one applied batch (epoch, repairs).
+	DeltaBatchResult = imm.BatchResult
+	// WeightPolicy tells maintenance how edge weights are re-derived
+	// after a mutation batch.
+	WeightPolicy = imm.WeightPolicy
+)
+
+// Delta op kinds and weight policies.
+const (
+	DeltaInsert     = graph.DeltaInsert
+	DeltaDelete     = graph.DeltaDelete
+	WeightsExplicit = imm.WeightsExplicit
+	WeightsWC       = imm.WeightsWC
+)
+
+// NewGraphOverlay returns an empty overlay over base; Apply one Delta,
+// then Compact into the mutated graph (base is never modified).
+func NewGraphOverlay(base *Graph) *GraphOverlay { return graph.NewOverlay(base) }
+
+// NewDynamicSketch builds the initial dynamic sketch over g with a full
+// IMM run (opt.RNG must be the default PerSample mode) and returns it with
+// the build's Result.
+func NewDynamicSketch(g *Graph, opt Options, policy WeightPolicy) (*DynamicSketch, *Result, error) {
+	return imm.NewDynamicSketch(g, opt, policy)
+}
+
+// ParseWeightPolicy parses "explicit" or "wc" (case-insensitive).
+func ParseWeightPolicy(s string) (WeightPolicy, error) { return imm.ParseWeightPolicy(s) }
+
 // StartPprofServer serves net/http/pprof endpoints on addr (e.g.
 // "localhost:6060") until process exit; it returns the bound server whose
 // Addr field carries the resolved address.

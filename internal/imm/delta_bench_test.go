@@ -1,0 +1,161 @@
+package imm
+
+import (
+	"slices"
+	"testing"
+
+	"influmax/internal/diffuse"
+	"influmax/internal/gen"
+	"influmax/internal/graph"
+)
+
+// deltaBenchOptions is the shared configuration of the delta benchmarks:
+// the same soc-LiveJournal1 analog and sketch sizing the serving
+// benchmarks use, so "one delta batch" and "one cold rebuild" are costed
+// against the same resident sketch.
+func deltaBenchOptions() Options {
+	return Options{K: 50, Epsilon: 0.5, Model: diffuse.IC, Workers: 8, Seed: 7}
+}
+
+// freshEdges returns k directed edges absent from g, scanning vertex
+// pairs deterministically from the middle of the id range — in the RMAT
+// analogs low ids are the hubs, so this yields TYPICAL edges (endpoints
+// of around-median degree), which is what the per-delta price should
+// reflect; the hub-targeting adversarial case is costed by the harness,
+// not the benchmark. The edges never trip the overlay's
+// edge-already-exists validation. The carried weight is irrelevant under
+// the weighted-cascade policy (reweighting overrides it) but must still
+// pass op validation.
+func freshEdges(tb testing.TB, g *graph.Graph, k int) []graph.DeltaOp {
+	tb.Helper()
+	var ops []graph.DeltaOp
+	n := graph.Vertex(g.NumVertices())
+	for u := n / 2; u < n && len(ops) < k; u++ {
+		dsts, _ := g.OutNeighbors(u)
+		for v := n / 2; v < n && len(ops) < k; v++ {
+			if u != v && !slices.Contains(dsts, v) {
+				ops = append(ops, graph.DeltaOp{Kind: graph.DeltaInsert, Src: u, Dst: v, W: 0.06})
+			}
+		}
+	}
+	if len(ops) < k {
+		tb.Fatalf("found %d absent edges, want %d", len(ops), k)
+	}
+	return ops
+}
+
+// BenchmarkApplyDelta prices incremental maintenance against the
+// alternative it replaces: "delta" is one single-op batch folded into a
+// resident dynamic sketch (insert on even iterations, delete of the same
+// edge on odd — the graph stays bounded), "cold-rebuild" is the full IMM
+// estimation + sampling + index run a static server would need after any
+// mutation. Both use the weighted-cascade weighting the paper's IC
+// experiments run under, with the matching WeightsWC policy — the
+// worst-case repair regime, where every affected sample is invalidated
+// and regenerated rather than extended. The ratio is the amortization
+// argument of DESIGN.md §15 and is pinned by TestDeltaAmortizationGate;
+// both numbers ride the CI bench-gate baselines.
+func BenchmarkApplyDelta(b *testing.B) {
+	opt := deltaBenchOptions()
+	b.Run("delta", func(b *testing.B) {
+		g := benchGraph(b, func(g *graph.Graph) { g.AssignWeightedCascade() })
+		dyn, _, err := NewDynamicSketch(g, opt, WeightsWC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges := freshEdges(b, g, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := edges[0]
+			if i%2 == 1 {
+				op = graph.DeltaOp{Kind: graph.DeltaDelete, Src: op.Src, Dst: op.Dst}
+			}
+			if _, err := dyn.ApplyDelta(graph.Delta{op}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := dyn.Stats()
+		if st.Batches > 0 {
+			b.ReportMetric(float64(st.SamplesInvalidated+st.SamplesExtended)/float64(st.Batches), "repairs/batch")
+		}
+	})
+	b.Run("cold-rebuild", func(b *testing.B) {
+		g := benchGraph(b, func(g *graph.Graph) { g.AssignWeightedCascade() })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := RunCollect(g, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestDeltaAmortizationGate is the issue's acceptance bar: on the
+// soc-LiveJournal1 analog under weighted-cascade weights, folding one
+// delta batch into a resident sketch must cost at most 1/20 of the cold
+// rebuild it replaces. On the reference machine the measured ratio is
+// well above the floor (a single-op batch regenerates a handful of
+// samples and patches the index, while the cold path re-runs estimation
+// and samples every RRR set from scratch); the 20x floor just catches
+// maintenance degenerating into rebuild-per-batch. Best-of-N wall clock,
+// skipped in -short mode like the fused-kernel gate; the CI bench-gate
+// job is the fine-grained tripwire.
+func TestDeltaAmortizationGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("amortization gate needs full-size sampling runs")
+	}
+	d, err := gen.ByName("soc-LiveJournal1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Generate(0.002, 1)
+	g.AssignWeightedCascade()
+	opt := deltaBenchOptions()
+
+	dyn, _, err := NewDynamicSketch(g, opt, WeightsWC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := freshEdges(t, g, 1)
+	const batches = 6
+	const trials = 3
+
+	// Per-delta cost: best average over trials of an insert/delete cycle.
+	deltaSec := 0.0
+	for tr := 0; tr < trials; tr++ {
+		sec := stopwatch(func() {
+			for i := 0; i < batches; i++ {
+				op := edges[0]
+				if i%2 == 1 {
+					op = graph.DeltaOp{Kind: graph.DeltaDelete, Src: op.Src, Dst: op.Dst}
+				}
+				if _, err := dyn.ApplyDelta(graph.Delta{op}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}) / batches
+		if deltaSec == 0 || sec < deltaSec {
+			deltaSec = sec
+		}
+	}
+
+	coldSec := 0.0
+	for tr := 0; tr < trials; tr++ {
+		sec := stopwatch(func() {
+			if _, _, _, err := RunCollect(dyn.Graph(), opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if coldSec == 0 || sec < coldSec {
+			coldSec = sec
+		}
+	}
+
+	ratio := coldSec / deltaSec
+	t.Logf("per-delta %.4fs, cold rebuild %.4fs, ratio %.1fx", deltaSec, coldSec, ratio)
+	if ratio < 20 {
+		t.Fatalf("per-delta cost %.4fs is not <= 1/20 of the %.4fs cold rebuild (ratio %.1fx)",
+			deltaSec, coldSec, ratio)
+	}
+}

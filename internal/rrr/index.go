@@ -121,6 +121,130 @@ func buildIndex(n, count, p int, rangeOf func(j int, vl, vh graph.Vertex, visit 
 	return idx
 }
 
+// PatchIndex derives BuildIndex(next, p) from the index of a previous
+// collection when the two differ only at the sample ids listed in changed
+// (sorted ascending; prev and next hold the same sample count). A full
+// rebuild pays a fixed per-(worker x sample) navigation cost in both of
+// its passes, which dominates whenever samples are small — the common case
+// for delta maintenance, where a batch repairs a handful of samples out of
+// theta. The patch instead copies every untouched vertex's incidence list
+// verbatim and merges removal/addition ids only into the lists of vertices
+// the changed samples actually mention: O(n + TotalSize) memory traffic
+// plus O(p x |changed|) navigation, independent of theta.
+//
+// The result is byte-identical to a fresh BuildIndex over next at any
+// worker count (both keep each list ascending by sample id). An empty
+// changed list returns idx itself — indexes are immutable, so sharing is
+// safe.
+func PatchIndex(idx *Index, prev, next *Collection, changed []int32, p int) *Index {
+	if len(changed) == 0 {
+		return idx
+	}
+	n := prev.NumVertices()
+	if p <= 0 {
+		p = par.DefaultWorkers()
+	}
+	if p > n {
+		p = n
+	}
+	out := &Index{offsets: make([]int64, n+1)}
+
+	// Pass 1: new counts = old incidence adjusted by the changed samples'
+	// membership deltas. Workers own vertex intervals exactly as in
+	// buildIndex, but navigate only the changed samples.
+	counts := out.offsets[1:]
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		for v := vl; v < vh; v++ {
+			counts[v] = idx.offsets[v+1] - idx.offsets[v]
+		}
+		for _, id := range changed {
+			for _, u := range prev.RangeOf(int(id), graph.Vertex(vl), graph.Vertex(vh)) {
+				counts[u]--
+			}
+			for _, u := range next.RangeOf(int(id), graph.Vertex(vl), graph.Vertex(vh)) {
+				counts[u]++
+			}
+		}
+	})
+
+	// Prefix sum, two-level (same scheme as buildIndex).
+	bases := make([]int64, p+1)
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		var sum int64
+		for v := vl; v < vh; v++ {
+			sum += counts[v]
+			counts[v] = sum
+		}
+		bases[rank+1] = sum
+	})
+	for r := 1; r <= p; r++ {
+		bases[r] += bases[r-1]
+	}
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		for v := vl; v < vh; v++ {
+			counts[v] += bases[rank]
+		}
+	})
+
+	// Pass 2: fill. Each worker inverts the changed samples over its
+	// interval into per-vertex removal (old membership) and addition (new
+	// membership) lists — ascending by id because changed is — then per
+	// vertex either copies the old list straight through or merges:
+	// (old \ removals) interleaved with additions. An id on both sides is
+	// a regenerated sample that still contains v; it leaves the merge at
+	// its original sorted position.
+	out.samples = make([]int32, out.offsets[n])
+	par.Run(p, func(rank int) {
+		vl, vh := par.Interval(n, p, rank)
+		rem := make([][]int32, vh-vl)
+		add := make([][]int32, vh-vl)
+		for _, id := range changed {
+			for _, u := range prev.RangeOf(int(id), graph.Vertex(vl), graph.Vertex(vh)) {
+				rem[int(u)-vl] = append(rem[int(u)-vl], id)
+			}
+			for _, u := range next.RangeOf(int(id), graph.Vertex(vl), graph.Vertex(vh)) {
+				add[int(u)-vl] = append(add[int(u)-vl], id)
+			}
+		}
+		var kept []int32
+		for v := vl; v < vh; v++ {
+			dst := out.samples[out.offsets[v]:out.offsets[v+1]]
+			src := idx.samples[idx.offsets[v]:idx.offsets[v+1]]
+			rv, av := rem[v-vl], add[v-vl]
+			if len(rv) == 0 && len(av) == 0 {
+				copy(dst, src)
+				continue
+			}
+			kept = kept[:0]
+			ri := 0
+			for _, id := range src {
+				if ri < len(rv) && rv[ri] == id {
+					ri++
+					continue
+				}
+				kept = append(kept, id)
+			}
+			ki, ai, o := 0, 0, 0
+			for ki < len(kept) && ai < len(av) {
+				if kept[ki] < av[ai] {
+					dst[o] = kept[ki]
+					ki++
+				} else {
+					dst[o] = av[ai]
+					ai++
+				}
+				o++
+			}
+			o += copy(dst[o:], kept[ki:])
+			copy(dst[o:], av[ai:])
+		}
+	})
+	return out
+}
+
 // NumVertices returns the vertex-universe size the index was built over.
 func (x *Index) NumVertices() int { return len(x.offsets) - 1 }
 

@@ -115,6 +115,77 @@ func TestIndexEdgeCases(t *testing.T) {
 	}
 }
 
+// mutateSamples returns a copy of col with the samples in changed replaced
+// by fresh random sorted sets (possibly empty, possibly overlapping the
+// originals — the patch must handle a regenerated sample keeping some
+// members).
+func mutateSamples(col *Collection, changed []int32, seed uint64, density float64) *Collection {
+	r := rng.New(rng.NewLCG(seed))
+	out := NewCollection(col.NumVertices())
+	ci := 0
+	for id := 0; id < col.Count(); id++ {
+		if ci < len(changed) && int(changed[ci]) == id {
+			ci++
+			var set []graph.Vertex
+			for v := 0; v < col.NumVertices(); v++ {
+				if r.Float64() < density {
+					set = append(set, graph.Vertex(v))
+				}
+			}
+			out.Append(set)
+			continue
+		}
+		out.Append(col.Sample(id))
+	}
+	return out
+}
+
+// TestPatchIndexMatchesBuild pins the patch against the ground truth: for
+// random collections, random changed subsets and every worker count, the
+// patched index must be byte-identical to a fresh BuildIndex over the
+// mutated collection.
+func TestPatchIndexMatchesBuild(t *testing.T) {
+	for _, tc := range []struct {
+		seed     uint64
+		n, count int
+		nChanged int
+	}{
+		{1, 40, 120, 1},
+		{2, 40, 120, 7},
+		{3, 64, 300, 30},
+		{4, 10, 50, 50}, // every sample changed
+		{5, 3, 20, 4},   // n < p for the larger worker counts
+	} {
+		col, _ := randomCollection(tc.seed, tc.n, tc.count, 0.12)
+		r := rng.New(rng.NewLCG(tc.seed * 77))
+		changed := make([]int32, 0, tc.nChanged)
+		for _, id := range r.Perm(tc.count)[:tc.nChanged] {
+			changed = append(changed, int32(id))
+		}
+		slices.Sort(changed)
+		next := mutateSamples(col, changed, tc.seed*13+5, 0.15)
+		for _, p := range []int{1, 2, 3, 8, 64} {
+			idx := BuildIndex(col, p)
+			want := BuildIndex(next, p)
+			got := PatchIndex(idx, col, next, changed, p)
+			if !slices.Equal(got.offsets, want.offsets) || !slices.Equal(got.samples, want.samples) {
+				t.Fatalf("seed=%d p=%d changed=%v: patched index differs from rebuild",
+					tc.seed, p, changed)
+			}
+		}
+	}
+}
+
+// TestPatchIndexNoChanges verifies the empty-changed fast path shares the
+// immutable index instead of copying it.
+func TestPatchIndexNoChanges(t *testing.T) {
+	col, _ := randomCollection(21, 30, 80, 0.1)
+	idx := BuildIndex(col, 4)
+	if got := PatchIndex(idx, col, col, nil, 4); got != idx {
+		t.Fatal("PatchIndex with no changed samples must return the index unchanged")
+	}
+}
+
 // TestIndexBytes checks the accounting: 4 bytes per association plus the
 // offsets array, i.e. half a Hypergraph's incidence overhead structure-for-
 // structure (no per-vertex slice headers).

@@ -9,6 +9,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+
+	"influmax/internal/graph"
 )
 
 // Snapshot format: the persistent form of a sampled sketch, so a serving
@@ -19,7 +21,7 @@ import (
 // Layout (all integers little-endian; normative spec in DESIGN.md §13):
 //
 //	magic   [8]byte  "IMXSNAP\x01"
-//	version uint32   (currently 2)
+//	version uint32   (currently 3)
 //	meta    graphDigest u64 | model u64 | epsilonBits u64 |
 //	        kMax u64 | seed u64 | theta u64
 //	store   n u64 | count u64 | total u64 | dataLen u64 |
@@ -27,7 +29,19 @@ import (
 //	relab   present u64 (0|1); if 1: table n*u32 (code -> original id)
 //	index   present u64 (0|1); if 1:
 //	        offsets (n+1)*i64 | samplesLen u64 | samples samplesLen*i32
+//	deltas  (version >= 3) batches u64 | per batch:
+//	        ops u64 | per op: kind u8 | src u32 | dst u32 | wBits u32
+//	        then sectionCRC u32 (CRC-32C of the section bytes above)
 //	crc     uint32  (CRC-32C of every preceding byte, magic included)
+//
+// The delta section is the replay log of a dynamic sketch (DESIGN.md §15):
+// graphDigest identifies the BASE graph, and a warm restart replays the
+// logged batches over it to reconstruct the graph the persisted samples
+// were maintained against. Batch boundaries are preserved because
+// per-batch weight re-derivation (weighted cascade, LT normalization) is
+// not replay-once-safe. The section carries its own checksum — guarding
+// the pointer-dense log independently — in addition to the whole-file CRC.
+// Version-2 snapshots (no section) load with a nil log.
 //
 // The reader validates every header field before trusting it, mirroring
 // the TCP transport's frame discipline (internal/mpi/frame.go): a size
@@ -43,10 +57,15 @@ var snapshotMagic = [8]byte{'I', 'M', 'X', 'S', 'N', 'A', 'P', 1}
 
 // SnapshotVersion is the current snapshot wire-format version. Version 2
 // replaced the per-sample offset/size store of version 1 with the
-// block-coded layout; version-1 snapshots are rejected with a
-// SnapshotError — snapshots are regenerable caches, so the remedy is to
-// resample and save a fresh one.
-const SnapshotVersion = 2
+// block-coded layout; version 3 appended the CRC-guarded delta-log
+// section (readers still accept version 2, loading an empty log).
+// Version-1 snapshots are rejected with a SnapshotError — snapshots are
+// regenerable caches, so the remedy is to resample and save a fresh one.
+const SnapshotVersion = 3
+
+// snapshotVersionV2 is the newest prior version the reader still accepts:
+// identical to 3 minus the delta-log section.
+const snapshotVersionV2 = 2
 
 // DefaultMaxSnapshotBytes is the largest snapshot a reader accepts unless
 // the caller overrides the bound (4 GiB).
@@ -85,9 +104,10 @@ type SnapshotError struct {
 
 func (e *SnapshotError) Error() string { return "rrr: invalid snapshot: " + e.Reason }
 
-// WriteSnapshot serializes meta, col and idx (idx may be nil) to w in the
-// versioned, checksummed snapshot format.
-func WriteSnapshot(w io.Writer, meta SnapshotMeta, col *CodedCollection, idx *Index) error {
+// WriteSnapshot serializes meta, col, idx (may be nil) and the delta
+// replay log (may be nil/empty) to w in the versioned, checksummed
+// snapshot format.
+func WriteSnapshot(w io.Writer, meta SnapshotMeta, col *CodedCollection, idx *Index, deltas []graph.Delta) error {
 	crc := crc32.New(castagnoli)
 	sw := &snapshotWriter{w: io.MultiWriter(w, crc)}
 	sw.raw(snapshotMagic[:])
@@ -122,6 +142,26 @@ func WriteSnapshot(w io.Writer, meta SnapshotMeta, col *CodedCollection, idx *In
 		sw.u64(uint64(len(idx.samples)))
 		sw.int32s(idx.samples)
 	}
+
+	// Delta-log section, with its own CRC over the section bytes: the
+	// section checksum is written through the file-CRC stream too, so the
+	// trailing checksum still covers the whole file.
+	sec := crc32.New(castagnoli)
+	inner := sw.w
+	sw.w = io.MultiWriter(inner, sec)
+	sw.u64(uint64(len(deltas)))
+	for _, d := range deltas {
+		sw.u64(uint64(len(d)))
+		for _, op := range d {
+			sw.raw([]byte{byte(op.Kind)})
+			sw.u32(uint32(op.Src))
+			sw.u32(uint32(op.Dst))
+			sw.u32(math.Float32bits(op.W))
+		}
+	}
+	sw.w = inner
+	sw.u32(sec.Sum32())
+
 	if sw.err != nil {
 		return sw.err
 	}
@@ -135,8 +175,9 @@ func WriteSnapshot(w io.Writer, meta SnapshotMeta, col *CodedCollection, idx *In
 
 // ReadSnapshot parses a snapshot from r, accepting at most maxBytes of
 // payload claims (<= 0 uses DefaultMaxSnapshotBytes). The returned Index
-// is nil when the snapshot was written without one.
-func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CodedCollection, *Index, error) {
+// is nil when the snapshot was written without one, and the returned
+// delta log is nil for version-2 snapshots and empty logs.
+func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CodedCollection, *Index, []graph.Delta, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxSnapshotBytes
 	}
@@ -149,8 +190,10 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CodedCollection, 
 	if sr.err == nil && magic != snapshotMagic {
 		sr.fail("bad magic")
 	}
-	if v := sr.u32(); sr.err == nil && v != SnapshotVersion {
-		sr.fail(fmt.Sprintf("unsupported version %d (want %d; resample and save a fresh snapshot)", v, SnapshotVersion))
+	version := sr.u32()
+	if sr.err == nil && version != SnapshotVersion && version != snapshotVersionV2 {
+		sr.fail(fmt.Sprintf("unsupported version %d (want %d or %d; resample and save a fresh snapshot)",
+			version, snapshotVersionV2, SnapshotVersion))
 	}
 
 	meta.GraphDigest = sr.u64()
@@ -220,6 +263,11 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CodedCollection, 
 		sr.fail("bad index-present flag")
 	}
 
+	var deltas []graph.Delta
+	if version >= SnapshotVersion && sr.err == nil {
+		deltas = sr.deltaLog(n)
+	}
+
 	if sr.err == nil {
 		want := crc.Sum32() // everything consumed so far
 		var tail [4]byte
@@ -230,14 +278,65 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (SnapshotMeta, *CodedCollection, 
 		}
 	}
 	if sr.err != nil {
-		return SnapshotMeta{}, nil, nil, sr.err
+		return SnapshotMeta{}, nil, nil, nil, sr.err
 	}
-	return meta, col, idx, nil
+	return meta, col, idx, deltas, nil
+}
+
+// deltaLog parses the v3 delta-log section, verifying its section CRC and
+// every op against the vertex universe n before the log is trusted for
+// replay. Returns nil for an empty log.
+func (r *snapshotReader) deltaLog(n int64) []graph.Delta {
+	sec := crc32.New(castagnoli)
+	inner := r.r
+	r.r = io.TeeReader(inner, sec)
+
+	batches := r.claim("delta log: batch count")
+	var deltas []graph.Delta
+	for b := int64(0); b < batches && r.err == nil; b++ {
+		ops := r.claim("delta log: op count")
+		d := make(graph.Delta, 0, min(ops, snapshotAllocChunk/16))
+		for o := int64(0); o < ops && r.err == nil; o++ {
+			var kind [1]byte
+			r.raw(kind[:])
+			src, dst := r.u32(), r.u32()
+			w := math.Float32frombits(r.u32())
+			if r.err != nil {
+				break
+			}
+			if kind[0] > uint8(graph.DeltaDelete) {
+				r.fail(fmt.Sprintf("delta log: batch %d op %d has unknown kind %d", b, o, kind[0]))
+				break
+			}
+			if int64(src) >= n || int64(dst) >= n {
+				r.fail(fmt.Sprintf("delta log: batch %d op %d endpoint out of range [0,%d)", b, o, n))
+				break
+			}
+			if !(w >= 0 && w <= 1) {
+				r.fail(fmt.Sprintf("delta log: batch %d op %d weight %v outside [0,1]", b, o, w))
+				break
+			}
+			d = append(d, graph.DeltaOp{
+				Kind: graph.DeltaOpKind(kind[0]),
+				Src:  graph.Vertex(src), Dst: graph.Vertex(dst), W: w,
+			})
+		}
+		if r.err == nil {
+			deltas = append(deltas, d)
+		}
+	}
+
+	r.r = inner
+	want := sec.Sum32()
+	if got := r.u32(); r.err == nil && got != want {
+		r.fail(fmt.Sprintf("delta log: section checksum mismatch (stored %08x, computed %08x)", got, want))
+	}
+	return deltas
 }
 
 // SaveSnapshotFile writes the snapshot atomically: to a temp file in the
 // target directory, synced, then renamed over path.
-func SaveSnapshotFile(path string, meta SnapshotMeta, col *CodedCollection, idx *Index) error {
+func SaveSnapshotFile(path string, meta SnapshotMeta, col *CodedCollection, idx *Index, deltas []graph.Delta) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -245,7 +344,7 @@ func SaveSnapshotFile(path string, meta SnapshotMeta, col *CodedCollection, idx 
 	}
 	tmp := f.Name()
 	bw := bufio.NewWriterSize(f, snapshotAllocChunk)
-	err = WriteSnapshot(bw, meta, col, idx)
+	err = WriteSnapshot(bw, meta, col, idx, deltas)
 	if err == nil {
 		err = bw.Flush()
 	}
@@ -266,10 +365,10 @@ func SaveSnapshotFile(path string, meta SnapshotMeta, col *CodedCollection, idx 
 
 // LoadSnapshotFile reads a snapshot from path with the given payload bound
 // (<= 0 uses DefaultMaxSnapshotBytes).
-func LoadSnapshotFile(path string, maxBytes int64) (SnapshotMeta, *CodedCollection, *Index, error) {
+func LoadSnapshotFile(path string, maxBytes int64) (SnapshotMeta, *CodedCollection, *Index, []graph.Delta, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return SnapshotMeta{}, nil, nil, err
+		return SnapshotMeta{}, nil, nil, nil, err
 	}
 	defer f.Close()
 	return ReadSnapshot(bufio.NewReaderSize(f, snapshotAllocChunk), maxBytes)

@@ -2,8 +2,11 @@ package rrr
 
 import (
 	"bytes"
+	"encoding/binary"
 	"slices"
 	"testing"
+
+	"influmax/internal/graph"
 )
 
 // FuzzLoadSnapshot hammers the snapshot decoder with adversarial byte
@@ -12,32 +15,40 @@ import (
 // accepts must re-encode to exactly the bytes it consumed (the checksum
 // makes blind acceptance of mutated input practically impossible).
 func FuzzLoadSnapshot(f *testing.F) {
-	seedCase := func(seed uint64, n, count int, withIndex bool) []byte {
+	seedCase := func(seed uint64, n, count int, withIndex bool, deltas []graph.Delta) []byte {
 		meta, col, idx := snapshotFixture(seed, n, count)
 		if !withIndex {
 			idx = nil
 		}
 		var buf bytes.Buffer
-		if err := WriteSnapshot(&buf, meta, col, idx); err != nil {
+		if err := WriteSnapshot(&buf, meta, col, idx, deltas); err != nil {
 			f.Fatal(err)
 		}
 		return buf.Bytes()
 	}
 	f.Add([]byte{})
 	f.Add(snapshotMagic[:])
-	valid := seedCase(5, 40, 8, true)
+	valid := seedCase(5, 40, 8, true, nil)
 	f.Add(valid)
-	f.Add(seedCase(6, 3, 1, false))
+	f.Add(seedCase(6, 3, 1, false, nil))
 	f.Add(valid[:len(valid)/2])                    // truncated mid-array
 	f.Add(append(slices.Clone(valid), byte(0x00))) // trailing byte
 	f.Add(bytes.Repeat([]byte{0xff}, 64))          // all-ones header claims
 	corrupt := slices.Clone(valid)
 	corrupt[len(corrupt)-2] ^= 0x01 // checksum bit flip
 	f.Add(corrupt)
+	// Delta-log seeds: a populated log, one truncated inside the log
+	// section, and one with its section checksum flipped.
+	withLog := seedCase(7, 40, 8, true, fixtureDeltaLog(7, 40))
+	f.Add(withLog)
+	f.Add(withLog[:len(withLog)-10])
+	logCorrupt := slices.Clone(withLog)
+	logCorrupt[len(logCorrupt)-6] ^= 0x01 // inside the section CRC
+	f.Add(logCorrupt)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const maxBytes = 1 << 16
-		meta, col, idx, err := ReadSnapshot(bytes.NewReader(data), maxBytes)
+		meta, col, idx, deltas, err := ReadSnapshot(bytes.NewReader(data), maxBytes)
 		if err != nil {
 			return
 		}
@@ -45,8 +56,13 @@ func FuzzLoadSnapshot(f *testing.F) {
 			t.Fatalf("accepted %d-byte store past the %d bound", col.Bytes(), maxBytes)
 		}
 		var buf bytes.Buffer
-		if err := WriteSnapshot(&buf, meta, col, idx); err != nil {
+		if err := WriteSnapshot(&buf, meta, col, idx, deltas); err != nil {
 			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		// An accepted version-2 file re-encodes as version 3 (the upgrade
+		// path), so byte identity is only claimed for current-version input.
+		if binary.LittleEndian.Uint32(data[8:12]) != SnapshotVersion {
+			return
 		}
 		enc := buf.Bytes()
 		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {

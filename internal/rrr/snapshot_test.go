@@ -6,6 +6,7 @@ import (
 	"errors"
 	"hash/crc32"
 	"io"
+	"math"
 	"path/filepath"
 	"slices"
 	"strings"
@@ -41,10 +42,10 @@ func snapshotFixture(seed uint64, n, count int) (SnapshotMeta, *CodedCollection,
 	return meta, col, idx
 }
 
-func encodeSnapshot(t *testing.T, meta SnapshotMeta, col *CodedCollection, idx *Index) []byte {
+func encodeSnapshot(t *testing.T, meta SnapshotMeta, col *CodedCollection, idx *Index, deltas []graph.Delta) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := WriteSnapshot(&buf, meta, col, idx); err != nil {
+	if err := WriteSnapshot(&buf, meta, col, idx, deltas); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	return buf.Bytes()
@@ -57,9 +58,10 @@ func TestSnapshotRoundTripByteIdentical(t *testing.T) {
 	check := func(seed uint64) bool {
 		n := int(seed%300) + 2
 		meta, col, idx := snapshotFixture(seed, n, int(seed%40)+1)
-		first := encodeSnapshot(t, meta, col, idx)
+		deltas := fixtureDeltaLog(seed, n)
+		first := encodeSnapshot(t, meta, col, idx, deltas)
 
-		gotMeta, gotCol, gotIdx, err := ReadSnapshot(bytes.NewReader(first), 0)
+		gotMeta, gotCol, gotIdx, gotDeltas, err := ReadSnapshot(bytes.NewReader(first), 0)
 		if err != nil {
 			t.Logf("seed %d: load: %v", seed, err)
 			return false
@@ -68,7 +70,11 @@ func TestSnapshotRoundTripByteIdentical(t *testing.T) {
 			t.Logf("seed %d: meta mismatch: %+v != %+v", seed, gotMeta, meta)
 			return false
 		}
-		second := encodeSnapshot(t, gotMeta, gotCol, gotIdx)
+		if !deltaLogsEqual(gotDeltas, deltas) {
+			t.Logf("seed %d: delta log mismatch", seed)
+			return false
+		}
+		second := encodeSnapshot(t, gotMeta, gotCol, gotIdx, gotDeltas)
 		if !bytes.Equal(first, second) {
 			t.Logf("seed %d: re-encode differs", seed)
 			return false
@@ -100,15 +106,18 @@ func TestSnapshotRoundTripByteIdentical(t *testing.T) {
 // on load, still byte-identical on re-encode.
 func TestSnapshotWithoutIndex(t *testing.T) {
 	meta, col, _ := snapshotFixture(7, 64, 12)
-	first := encodeSnapshot(t, meta, col, nil)
-	gotMeta, gotCol, gotIdx, err := ReadSnapshot(bytes.NewReader(first), 0)
+	first := encodeSnapshot(t, meta, col, nil, nil)
+	gotMeta, gotCol, gotIdx, gotDeltas, err := ReadSnapshot(bytes.NewReader(first), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gotIdx != nil {
 		t.Fatal("index materialized out of nowhere")
 	}
-	if !bytes.Equal(first, encodeSnapshot(t, gotMeta, gotCol, nil)) {
+	if gotDeltas != nil {
+		t.Fatal("delta log materialized out of nowhere")
+	}
+	if !bytes.Equal(first, encodeSnapshot(t, gotMeta, gotCol, nil, nil)) {
 		t.Fatal("re-encode differs")
 	}
 }
@@ -118,10 +127,10 @@ func TestSnapshotWithoutIndex(t *testing.T) {
 // panicking.
 func TestSnapshotRejectsCorruption(t *testing.T) {
 	meta, col, idx := snapshotFixture(3, 120, 25)
-	valid := encodeSnapshot(t, meta, col, idx)
+	valid := encodeSnapshot(t, meta, col, idx, fixtureDeltaLog(3, 120))
 
 	load := func(b []byte, max int64) error {
-		_, _, _, err := ReadSnapshot(bytes.NewReader(b), max)
+		_, _, _, _, err := ReadSnapshot(bytes.NewReader(b), max)
 		return err
 	}
 
@@ -189,15 +198,19 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 func TestSnapshotFileRoundTrip(t *testing.T) {
 	meta, col, idx := snapshotFixture(9, 80, 18)
 	path := filepath.Join(t.TempDir(), "sketch.snap")
-	if err := SaveSnapshotFile(path, meta, col, idx); err != nil {
+	deltas := fixtureDeltaLog(9, 80)
+	if err := SaveSnapshotFile(path, meta, col, idx, deltas); err != nil {
 		t.Fatal(err)
 	}
-	gotMeta, gotCol, gotIdx, err := LoadSnapshotFile(path, 0)
+	gotMeta, gotCol, gotIdx, gotDeltas, err := LoadSnapshotFile(path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gotMeta != meta || gotCol.Count() != col.Count() || gotIdx == nil {
 		t.Fatalf("round trip lost data: %+v, count %d", gotMeta, gotCol.Count())
+	}
+	if !deltaLogsEqual(gotDeltas, deltas) {
+		t.Fatal("round trip lost the delta log")
 	}
 }
 
@@ -206,9 +219,9 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 // (snapshots are regenerable caches; there is no migration path).
 func TestSnapshotRejectsVersion1(t *testing.T) {
 	meta, col, idx := snapshotFixture(4, 50, 10)
-	b := encodeSnapshot(t, meta, col, idx)
+	b := encodeSnapshot(t, meta, col, idx, nil)
 	binary.LittleEndian.PutUint32(b[8:], 1)
-	_, _, _, err := ReadSnapshot(bytes.NewReader(b), 0)
+	_, _, _, _, err := ReadSnapshot(bytes.NewReader(b), 0)
 	var serr *SnapshotError
 	if !errors.As(err, &serr) {
 		t.Fatalf("got %v, want SnapshotError", err)
@@ -226,7 +239,7 @@ func TestSnapshotRelabelTableRoundTrip(t *testing.T) {
 	if !col.Relabeled() {
 		t.Fatal("fixture not relabeled")
 	}
-	_, got, _, err := ReadSnapshot(bytes.NewReader(encodeSnapshot(t, meta, col, idx)), 0)
+	_, got, _, _, err := ReadSnapshot(bytes.NewReader(encodeSnapshot(t, meta, col, idx, nil)), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +251,7 @@ func TestSnapshotRelabelTableRoundTrip(t *testing.T) {
 	if col.Relabeled() {
 		t.Fatal("fixture unexpectedly relabeled")
 	}
-	_, got, _, err = ReadSnapshot(bytes.NewReader(encodeSnapshot(t, meta, col, idx)), 0)
+	_, got, _, _, err = ReadSnapshot(bytes.NewReader(encodeSnapshot(t, meta, col, idx, nil)), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,16 +264,202 @@ func TestSnapshotRelabelTableRoundTrip(t *testing.T) {
 // non-permutation and checks the load is refused.
 func TestSnapshotRejectsBadRelabelTable(t *testing.T) {
 	meta, col, idx := snapshotFixture(13, 64, 12)
-	b := encodeSnapshot(t, meta, col, idx)
+	b := encodeSnapshot(t, meta, col, idx, nil)
 	// The relabel table sits right after the store section; duplicate its
 	// first entry into the second to break the permutation, then fix the
 	// checksum so only the table validation can object.
 	off := 8 + 4 + 6*8 + 4*8 + len(col.blockOffs)*8 + len(col.data) + 8
 	copy(b[off+4:off+8], b[off:off+4])
 	binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.Checksum(b[:len(b)-4], castagnoli))
-	_, _, _, err := ReadSnapshot(bytes.NewReader(b), 0)
+	_, _, _, _, err := ReadSnapshot(bytes.NewReader(b), 0)
 	var serr *SnapshotError
 	if !errors.As(err, &serr) {
 		t.Fatalf("got %v, want SnapshotError", err)
 	}
+}
+
+// fixtureDeltaLog derives a small valid delta log over n vertices from
+// seed (nil for even seeds, so the empty-log path stays covered by the
+// round-trip property).
+func fixtureDeltaLog(seed uint64, n int) []graph.Delta {
+	if seed%2 == 0 {
+		return nil
+	}
+	r := rng.New(rng.NewLCG(seed))
+	v := func() graph.Vertex { return graph.Vertex(r.Intn(n)) }
+	batches := 1 + int(seed%3)
+	log := make([]graph.Delta, 0, batches)
+	for b := 0; b < batches; b++ {
+		var d graph.Delta
+		for o := 0; o <= r.Intn(4); o++ {
+			if r.Intn(3) == 0 {
+				d = append(d, graph.DeltaOp{Kind: graph.DeltaDelete, Src: v(), Dst: v()})
+			} else {
+				d = append(d, graph.DeltaOp{Kind: graph.DeltaInsert, Src: v(), Dst: v(), W: r.Float32()})
+			}
+		}
+		log = append(log, d)
+	}
+	return log
+}
+
+func deltaLogsEqual(a, b []graph.Delta) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !slices.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// deltaSectionBytes returns the encoded size of a delta log section,
+// excluding its trailing section CRC.
+func deltaSectionBytes(deltas []graph.Delta) int {
+	size := 8
+	for _, d := range deltas {
+		size += 8 + 13*len(d)
+	}
+	return size
+}
+
+// TestSnapshotV2Migration pins the forward-compatibility contract: a
+// version-2 file (no delta section) loads cleanly with a nil delta log,
+// the reader does not touch bytes past its checksum, and re-encoding the
+// loaded state produces a valid (version-3) snapshot that round-trips
+// byte-identically from then on.
+func TestSnapshotV2Migration(t *testing.T) {
+	meta, col, idx := snapshotFixture(5, 60, 10)
+	v3 := encodeSnapshot(t, meta, col, idx, nil)
+
+	// An empty v3 delta section is batches=0 (8 bytes) + section CRC (4);
+	// stripping it and re-stamping version 2 reconstructs the exact v2
+	// encoding of the same sketch.
+	prefix := slices.Clone(v3[:len(v3)-16])
+	binary.LittleEndian.PutUint32(prefix[8:], 2)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.Checksum(prefix, castagnoli))
+	v2 := append(prefix, tail[:]...)
+
+	gotMeta, gotCol, gotIdx, gotDeltas, err := ReadSnapshot(bytes.NewReader(v2), 0)
+	if err != nil {
+		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+	if gotMeta != meta || gotCol.Count() != col.Count() || gotIdx == nil {
+		t.Fatalf("v2 load lost data")
+	}
+	if gotDeltas != nil {
+		t.Fatalf("v2 load produced a delta log: %v", gotDeltas)
+	}
+
+	// A v2 reader consuming from a stream stops at its checksum: trailing
+	// bytes that happen to look like a delta section are not consumed.
+	withTrailer := append(slices.Clone(v2), v3[len(v3)-16:]...)
+	if _, _, _, _, err := ReadSnapshot(bytes.NewReader(withTrailer), 0); err != nil {
+		t.Fatalf("trailing bytes broke the v2 load: %v", err)
+	}
+
+	// Saving the loaded state upgrades to v3 and is byte-stable after.
+	up := encodeSnapshot(t, gotMeta, gotCol, gotIdx, gotDeltas)
+	if !bytes.Equal(up, v3) {
+		t.Fatalf("v2 state re-encoded differently from the v3 encoding of the same sketch")
+	}
+}
+
+// TestSnapshotRejectsCorruptDeltaLog corrupts the delta-log section every
+// way the format guards against and checks each is refused with a typed
+// SnapshotError naming the section — the file-level CRC is repaired for
+// each case, so only the section's own validation can object.
+func TestSnapshotRejectsCorruptDeltaLog(t *testing.T) {
+	const n = 60
+	meta, col, idx := snapshotFixture(6, n, 10)
+	deltas := []graph.Delta{
+		{
+			{Kind: graph.DeltaInsert, Src: 1, Dst: 2, W: 0.5},
+			{Kind: graph.DeltaDelete, Src: 2, Dst: 3},
+		},
+		{{Kind: graph.DeltaInsert, Src: 4, Dst: 5, W: 0.25}},
+	}
+	valid := encodeSnapshot(t, meta, col, idx, deltas)
+	secLen := deltaSectionBytes(deltas)
+	secStart := len(valid) - 4 - 4 - secLen
+	const (
+		opKindOff = 16 // batches u64 + ops u64
+		opSrcOff  = 17
+		opWOff    = 25
+	)
+
+	// fixCRCs recomputes the section CRC and then the file CRC, so a test
+	// mutation is visible only to the delta-log validation itself.
+	fixCRCs := func(b []byte) {
+		secEnd := len(b) - 8
+		binary.LittleEndian.PutUint32(b[secEnd:], crc32.Checksum(b[secStart:secEnd], castagnoli))
+		binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.Checksum(b[:len(b)-4], castagnoli))
+	}
+	loadErr := func(b []byte) error {
+		_, _, _, _, err := ReadSnapshot(bytes.NewReader(b), 0)
+		return err
+	}
+	requireDeltaLogError := func(t *testing.T, err error, want string) {
+		t.Helper()
+		var serr *SnapshotError
+		if !errors.As(err, &serr) {
+			t.Fatalf("got %v, want SnapshotError", err)
+		}
+		if !strings.Contains(err.Error(), "delta log") || !strings.Contains(err.Error(), want) {
+			t.Fatalf("rejection %q does not name the delta log and %q", err, want)
+		}
+	}
+
+	t.Run("section bit flip fails section checksum", func(t *testing.T) {
+		b := slices.Clone(valid)
+		b[secStart+opSrcOff] ^= 0x01
+		// Repair only the FILE checksum: the section checksum must catch it.
+		binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.Checksum(b[:len(b)-4], castagnoli))
+		requireDeltaLogError(t, loadErr(b), "checksum")
+	})
+	t.Run("unknown op kind", func(t *testing.T) {
+		b := slices.Clone(valid)
+		b[secStart+opKindOff] = 7
+		fixCRCs(b)
+		requireDeltaLogError(t, loadErr(b), "unknown kind")
+	})
+	t.Run("endpoint out of range", func(t *testing.T) {
+		b := slices.Clone(valid)
+		binary.LittleEndian.PutUint32(b[secStart+opSrcOff:], n+100)
+		fixCRCs(b)
+		requireDeltaLogError(t, loadErr(b), "out of range")
+	})
+	t.Run("weight out of range", func(t *testing.T) {
+		b := slices.Clone(valid)
+		binary.LittleEndian.PutUint32(b[secStart+opWOff:], math.Float32bits(2.0))
+		fixCRCs(b)
+		requireDeltaLogError(t, loadErr(b), "weight")
+	})
+	t.Run("NaN weight", func(t *testing.T) {
+		b := slices.Clone(valid)
+		binary.LittleEndian.PutUint32(b[secStart+opWOff:], math.Float32bits(float32(math.NaN())))
+		fixCRCs(b)
+		requireDeltaLogError(t, loadErr(b), "weight")
+	})
+	t.Run("truncated mid-section", func(t *testing.T) {
+		err := loadErr(valid[:secStart+opWOff])
+		var serr *SnapshotError
+		if err == nil {
+			t.Fatal("accepted a snapshot truncated inside the delta section")
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) && !errors.As(err, &serr) {
+			t.Fatalf("unexpected error %v", err)
+		}
+	})
+	t.Run("absurd batch count", func(t *testing.T) {
+		b := slices.Clone(valid)
+		for i := 0; i < 8; i++ {
+			b[secStart+i] = 0xff
+		}
+		fixCRCs(b)
+		requireDeltaLogError(t, loadErr(b), "batch count")
+	})
 }

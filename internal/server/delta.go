@@ -1,0 +1,186 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+	"influmax/internal/rrr"
+)
+
+// Dynamic-graph serving: the server owns one imm.DynamicSketch, applies
+// POST /v1/graph/delta batches to it under dynMu, and republishes an
+// immutable query-ready Sketch after each batch. Queries never take the
+// mutation lock — they load the latest published view, so a query racing
+// a delta sees the sketch as of some fully applied epoch (bounded
+// staleness; DESIGN.md §15 gives the freshness contract and the
+// rebuild-vs-repair tradeoff).
+
+// initDynamic builds or restores the dynamic sketch and publishes the
+// first serving view. Called once from New, before any handler runs.
+func (s *Server) initDynamic() error {
+	opt := imm.Options{
+		K: s.cfg.KMax, Epsilon: s.cfg.Epsilon, Model: s.cfg.Model,
+		Workers: s.cfg.Workers, Seed: s.cfg.Seed,
+		Schedule: s.cfg.Schedule, Kernel: s.cfg.Kernel,
+		Metrics: s.reg,
+	}
+	if warm := s.cfg.Sketch; warm != nil {
+		// Warm restart: decode the persisted store back to the mutable
+		// flat arena maintenance needs, then replay the delta log over the
+		// base graph to recover the mutated topology.
+		flat := rrr.NewCollection(warm.Col.NumVertices())
+		var buf []graph.Vertex
+		for i := 0; i < warm.Col.Count(); i++ {
+			buf = warm.Col.SampleSorted(i, buf[:0])
+			flat.Append(buf)
+		}
+		dyn, err := imm.RestoreDynamicSketch(s.cfg.Graph, opt, s.cfg.WeightPolicy, flat, warm.Theta, warm.Deltas)
+		if err != nil {
+			return err
+		}
+		s.dyn = dyn
+	} else {
+		dyn, _, err := imm.NewDynamicSketch(s.cfg.Graph, opt, s.cfg.WeightPolicy)
+		if err != nil {
+			return err
+		}
+		s.mBuilds.Inc()
+		s.dyn = dyn
+	}
+	s.publishDynamicLocked()
+	return nil
+}
+
+// publishDynamicLocked snapshots the dynamic sketch into an immutable
+// Sketch (transcoding into the configured store) and publishes it for
+// queries. Caller holds dynMu (or is still inside New).
+func (s *Server) publishDynamicLocked() *Sketch {
+	flat := s.dyn.Collection()
+	var relab *rrr.Relabeling
+	if s.cfg.Store == imm.StoreCoded {
+		relab = rrr.NewRelabeling(rrr.IncidenceOf(flat, s.cfg.Workers))
+	}
+	sk := &Sketch{
+		Key: s.DefaultKey(),
+		Col: rrr.FromCollection(flat, relab),
+		// The incidence index is labeling-invariant, so the dynamic
+		// sketch's own (rebuilt per batch, then immutable) carries over.
+		Idx:        s.dyn.Index(),
+		Theta:      s.dyn.Theta(),
+		LowerBound: s.dyn.LowerBound(),
+		Source:     "dynamic",
+		Deltas:     s.dyn.Log(),
+		DeltaEpoch: s.dyn.Epoch(),
+		DeltaStats: s.dyn.Stats(),
+	}
+	s.dynSk.Store(sk)
+	s.mSketches.Set(1)
+	return sk
+}
+
+// ServingSketch returns the currently served dynamic sketch view (nil
+// outside dynamic mode). The returned sketch is immutable and carries the
+// delta log, so it is what a shutdown persists for a warm restart.
+func (s *Server) ServingSketch() *Sketch {
+	if !s.cfg.Dynamic {
+		return nil
+	}
+	return s.dynSk.Load()
+}
+
+// deltaOpRequest is one edge mutation on the wire.
+type deltaOpRequest struct {
+	Op  string  `json:"op"` // "insert" or "delete"
+	Src uint32  `json:"src"`
+	Dst uint32  `json:"dst"`
+	W   float32 `json:"w,omitempty"`
+}
+
+// deltaRequest is the POST /v1/graph/delta body: one ordered batch.
+type deltaRequest struct {
+	Ops []deltaOpRequest `json:"ops"`
+}
+
+// deltaResponse reports one applied batch.
+type deltaResponse struct {
+	Epoch              uint64 `json:"epoch"`
+	Applied            int    `json:"applied"`
+	Candidates         int    `json:"candidates"`
+	SamplesInvalidated int64  `json:"samplesInvalidated"`
+	SamplesExtended    int64  `json:"samplesExtended"`
+	Theta              int64  `json:"theta"`
+}
+
+// handleDelta applies one mutation batch: decode, validate-or-400
+// (rejected batches leave graph and sketch untouched), repair the sketch,
+// publish the new serving view, report the repair counters.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.Dynamic {
+		s.writeError(w, http.StatusBadRequest,
+			"server is not in dynamic mode; /v1/graph/delta requires it")
+		return
+	}
+	if s.draining.Load() {
+		s.writeBackoff(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req deltaRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch: ops is required")
+		return
+	}
+	if len(req.Ops) > s.cfg.MaxDeltaOps {
+		s.writeError(w, http.StatusBadRequest,
+			"batch of %d ops exceeds the %d-op limit", len(req.Ops), s.cfg.MaxDeltaOps)
+		return
+	}
+	d := make(graph.Delta, len(req.Ops))
+	for i, op := range req.Ops {
+		switch op.Op {
+		case "insert":
+			d[i].Kind = graph.DeltaInsert
+		case "delete":
+			d[i].Kind = graph.DeltaDelete
+		default:
+			s.writeError(w, http.StatusBadRequest,
+				"ops[%d].op = %q, want \"insert\" or \"delete\"", i, op.Op)
+			return
+		}
+		d[i].Src = graph.Vertex(op.Src)
+		d[i].Dst = graph.Vertex(op.Dst)
+		d[i].W = op.W
+	}
+
+	s.dynMu.Lock()
+	res, err := s.dyn.ApplyDelta(d)
+	if err != nil {
+		s.dynMu.Unlock()
+		var de *graph.DeltaError
+		if errors.As(err, &de) {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			s.writeError(w, http.StatusInternalServerError, "applying delta: %v", err)
+		}
+		return
+	}
+	s.publishDynamicLocked()
+	s.dynMu.Unlock()
+	s.mDeltaBatches.Inc()
+
+	writeJSON(w, http.StatusOK, deltaResponse{
+		Epoch:              res.Epoch,
+		Applied:            res.Ops,
+		Candidates:         res.Candidates,
+		SamplesInvalidated: res.SamplesInvalidated,
+		SamplesExtended:    res.SamplesExtended,
+		Theta:              s.dyn.Theta(),
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -74,9 +75,25 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// Sketch, when non-nil, is a prebuilt (typically snapshot-loaded)
-	// sketch installed into the cache at startup — the warm start. Its
-	// graph digest must match Graph.
+	// sketch installed at startup — the warm start. Its graph digest must
+	// match Graph. In dynamic mode the sketch's delta log is replayed to
+	// restore the mutated graph; outside it, a sketch carrying a delta log
+	// is rejected (its samples no longer describe Graph).
 	Sketch *Sketch
+	// Dynamic enables dynamic-graph mode: the server owns one incremental
+	// sketch over Graph, serves every query from it, and accepts edge
+	// mutations at POST /v1/graph/delta. Per-query model/epsilon/seed
+	// overrides are rejected in this mode — there is one sketch, tracking
+	// one configuration (see DESIGN.md §15).
+	Dynamic bool
+	// WeightPolicy tells dynamic mode how edge weights are re-derived
+	// after each mutation batch (imm.WeightsExplicit by default;
+	// imm.WeightsWC recomputes weighted-cascade weights from the new
+	// in-degrees).
+	WeightPolicy imm.WeightPolicy
+	// MaxDeltaOps bounds the edge ops accepted in one delta batch (<= 0
+	// defaults to 4096).
+	MaxDeltaOps int
 }
 
 // withDefaults resolves zero values.
@@ -98,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSketches <= 0 {
 		c.MaxSketches = 4
+	}
+	if c.MaxDeltaOps <= 0 {
+		c.MaxDeltaOps = 4096
 	}
 	return c
 }
@@ -121,9 +141,18 @@ type Server struct {
 	mux      *http.ServeMux
 	httpSrv  *http.Server
 
-	mQueries, mRejected, mTimeouts, mErrors, mBuilds *metrics.Counter
-	mInflight, mSketches                             *metrics.Gauge
-	mLatency                                         *metrics.Histogram
+	// Dynamic mode: dynMu serializes mutations to dyn; dynSk holds the
+	// immutable query-ready view, republished after every batch, that
+	// queries load lock-free. A query therefore sees the sketch as of
+	// some fully applied epoch — never a half-applied batch (the bounded
+	// staleness contract).
+	dynMu sync.Mutex
+	dyn   *imm.DynamicSketch
+	dynSk atomic.Pointer[Sketch]
+
+	mQueries, mRejected, mTimeouts, mErrors, mBuilds, mDeltaBatches *metrics.Counter
+	mInflight, mSketches                                            *metrics.Gauge
+	mLatency                                                        *metrics.Histogram
 
 	// testQueryHook, when set, runs inside the seeds handler after pool
 	// admission — the seam load and drain tests use to hold a query in
@@ -153,31 +182,40 @@ func New(cfg Config) (*Server, error) {
 		reg = metrics.NewRegistry()
 	}
 	s := &Server{
-		cfg:        cfg,
-		digest:     cfg.Graph.Digest(),
-		reg:        reg,
-		cache:      newSketchCache(cfg.MaxSketches),
-		admitLimit: int64(cfg.MaxConcurrent + cfg.MaxQueue),
-		running:    make(chan struct{}, cfg.MaxConcurrent),
-		mQueries:   reg.Counter("server/queries"),
-		mRejected:  reg.Counter("server/rejected"),
-		mTimeouts:  reg.Counter("server/timeouts"),
-		mErrors:    reg.Counter("server/errors"),
-		mBuilds:    reg.Counter("server/sketch-builds"),
-		mInflight:  reg.Gauge("server/inflight"),
-		mSketches:  reg.Gauge("server/sketches"),
-		mLatency:   reg.Histogram("server/query-us"),
+		cfg:           cfg,
+		digest:        cfg.Graph.Digest(),
+		reg:           reg,
+		cache:         newSketchCache(cfg.MaxSketches),
+		admitLimit:    int64(cfg.MaxConcurrent + cfg.MaxQueue),
+		running:       make(chan struct{}, cfg.MaxConcurrent),
+		mQueries:      reg.Counter("server/queries"),
+		mDeltaBatches: reg.Counter("server/delta-batches"),
+		mRejected:     reg.Counter("server/rejected"),
+		mTimeouts:     reg.Counter("server/timeouts"),
+		mErrors:       reg.Counter("server/errors"),
+		mBuilds:       reg.Counter("server/sketch-builds"),
+		mInflight:     reg.Gauge("server/inflight"),
+		mSketches:     reg.Gauge("server/sketches"),
+		mLatency:      reg.Histogram("server/query-us"),
 	}
-	if cfg.Sketch != nil {
-		if cfg.Sketch.Key.GraphDigest != s.digest {
-			return nil, fmt.Errorf("server: provided sketch is for graph %016x, loaded graph is %016x",
-				cfg.Sketch.Key.GraphDigest, s.digest)
+	if cfg.Sketch != nil && cfg.Sketch.Key.GraphDigest != s.digest {
+		return nil, fmt.Errorf("server: provided sketch is for graph %016x, loaded graph is %016x",
+			cfg.Sketch.Key.GraphDigest, s.digest)
+	}
+	if cfg.Dynamic {
+		if err := s.initDynamic(); err != nil {
+			return nil, err
+		}
+	} else if cfg.Sketch != nil {
+		if len(cfg.Sketch.Deltas) > 0 {
+			return nil, errors.New("server: snapshot carries a delta log; its samples describe the mutated graph, serve it with Dynamic mode")
 		}
 		s.cache.put(cfg.Sketch)
 		s.mSketches.Set(int64(s.cache.len()))
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/seeds", s.handleSeeds)
+	s.mux.HandleFunc("POST /v1/graph/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -206,8 +244,12 @@ func (s *Server) DefaultKey() SketchKey {
 }
 
 // Prewarm synchronously populates the default sketch (sampling if no
-// snapshot was installed), so the first query does not pay the build.
+// snapshot was installed), so the first query does not pay the build. A
+// dynamic server is built warm by New; Prewarm is then a no-op.
 func (s *Server) Prewarm(ctx context.Context) error {
+	if s.cfg.Dynamic {
+		return nil
+	}
 	_, _, err := s.sketchFor(ctx, s.DefaultKey())
 	return err
 }
@@ -263,6 +305,7 @@ type seedsResponse struct {
 	Theta            int64              `json:"theta"`
 	Cached           bool               `json:"cached"`
 	Source           string             `json:"source"`
+	DeltaEpoch       uint64             `json:"deltaEpoch,omitempty"`
 	Report           *metrics.RunReport `json:"report"`
 }
 
@@ -329,6 +372,11 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := s.DefaultKey()
+	if s.cfg.Dynamic && (req.Model != nil || req.Epsilon != nil || req.Seed != nil) {
+		s.writeError(w, http.StatusBadRequest,
+			"dynamic mode serves one sketch configuration; model/epsilon/seed overrides are not available")
+		return
+	}
 	if req.Model != nil {
 		m, err := diffuse.ParseModel(*req.Model)
 		if err != nil {
@@ -371,16 +419,26 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		s.testQueryHook()
 	}
 
-	sk, hit, err := s.sketchFor(ctx, key)
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		s.mTimeouts.Inc()
-		s.writeBackoff(w, http.StatusServiceUnavailable,
-			"sketch for (%s) still building: %v", key, err)
-		return
-	}
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "building sketch: %v", err)
-		return
+	var (
+		sk  *Sketch
+		hit bool
+		err error
+	)
+	if s.cfg.Dynamic {
+		// Lock-free load of the latest published epoch.
+		sk, hit = s.dynSk.Load(), true
+	} else {
+		sk, hit, err = s.sketchFor(ctx, key)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.mTimeouts.Inc()
+			s.writeBackoff(w, http.StatusServiceUnavailable,
+				"sketch for (%s) still building: %v", key, err)
+			return
+		}
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "building sketch: %v", err)
+			return
+		}
 	}
 
 	start := time.Now()
@@ -399,6 +457,7 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		Theta:            sk.Theta,
 		Cached:           hit,
 		Source:           sk.Source,
+		DeltaEpoch:       sk.DeltaEpoch,
 		Report:           rep,
 	})
 }

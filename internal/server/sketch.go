@@ -56,6 +56,15 @@ type Sketch struct {
 	// (estimation, sampling, index build — all zero for a snapshot load,
 	// which is the point of having one).
 	BuildPhases trace.Times
+	// Deltas is the replayable delta log behind this sketch: nil for a
+	// static sketch, else one entry per batch folded in since the base
+	// graph (Key.GraphDigest always names the BASE graph). Persisted by
+	// Save so a warm restart can replay the mutations.
+	Deltas []graph.Delta
+	// DeltaEpoch and DeltaStats summarize the maintenance that produced
+	// this sketch (zero for static sketches); they ride into RunReports.
+	DeltaEpoch uint64
+	DeltaStats imm.DeltaStats
 }
 
 // BuildSketch samples a sketch for key over g: the full estimation +
@@ -119,10 +128,10 @@ func (s *Sketch) Meta() rrr.SnapshotMeta {
 	}
 }
 
-// Save persists the sketch (samples + index) at path in the versioned,
-// checksummed snapshot format, atomically.
+// Save persists the sketch (samples + index + delta log) at path in the
+// versioned, checksummed snapshot format, atomically.
 func (s *Sketch) Save(path string) error {
-	return rrr.SaveSnapshotFile(path, s.Meta(), s.Col, s.Idx)
+	return rrr.SaveSnapshotFile(path, s.Meta(), s.Col, s.Idx, s.Deltas)
 }
 
 // LoadSketch reads a snapshot from path and validates it against g: the
@@ -136,7 +145,7 @@ func (s *Sketch) Save(path string) error {
 // rrr.DefaultMaxSnapshotBytes.
 func LoadSketch(path string, g *graph.Graph, workers int, store imm.StoreKind, maxBytes int64) (*Sketch, error) {
 	start := time.Now()
-	meta, col, idx, err := rrr.LoadSnapshotFile(path, maxBytes)
+	meta, col, idx, deltas, err := rrr.LoadSnapshotFile(path, maxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -173,10 +182,12 @@ func LoadSketch(path string, g *graph.Graph, workers int, store imm.StoreKind, m
 			KMax:        meta.KMax,
 			Seed:        meta.Seed,
 		},
-		Col:    col,
-		Idx:    idx,
-		Theta:  meta.Theta,
-		Source: "snapshot",
+		Col:        col,
+		Idx:        idx,
+		Theta:      meta.Theta,
+		Source:     "snapshot",
+		Deltas:     deltas,
+		DeltaEpoch: uint64(len(deltas)),
 	}
 	if s.Idx == nil {
 		s.Idx = rrr.BuildIndexCoded(col, workers)
@@ -211,5 +222,9 @@ func (s *Sketch) report(k, workers int, selectDur time.Duration, seeds []graph.V
 	rep.StoreBytes = s.Col.Bytes()
 	rep.FlatStoreBytes = s.Col.FlatBytes()
 	rep.IndexBytes = s.Idx.Bytes()
+	rep.DeltaEpoch = s.DeltaEpoch
+	rep.DeltasApplied = s.DeltaStats.DeltasApplied
+	rep.SamplesInvalidated = s.DeltaStats.SamplesInvalidated
+	rep.SamplesExtended = s.DeltaStats.SamplesExtended
 	return rep
 }
