@@ -12,7 +12,12 @@
 // accepts edge mutation batches ({"ops":[{"op":"insert","src":0,"dst":1,
 // "w":0.2}]}) and the sketch is maintained incrementally; on shutdown the
 // mutated state (samples + replayable delta log) is persisted back to
-// -snapshot for a warm restart. Saturation (past -concurrency running
+// -snapshot for a warm restart. With -shard-index/-shard-count the replica
+// joins a cluster fleet instead: it serves one slice of the samples
+// through the shard API (POST /v1/shard/op, GET /v1/shard/info, GET
+// /v1/snapshot) for an immrouter to query, and rejects direct seed
+// queries; -shard-from bootstraps the slice from a running peer. See
+// DESIGN.md §16. Saturation (past -concurrency running
 // plus -queue waiting) is answered 429 + Retry-After; SIGINT/SIGTERM
 // drains in-flight queries (bounded by -drain-timeout) before exit.
 package main
@@ -51,6 +56,9 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight queries on shutdown")
 		snapshot     = flag.String("snapshot", "", "sketch snapshot path: loaded if present, written after sampling otherwise")
 		dynamic      = flag.Bool("dynamic", false, "dynamic-graph mode: accept edge mutations at POST /v1/graph/delta, maintain the sketch incrementally")
+		shardIndex   = flag.Int("shard-index", -1, "cluster shard mode: this replica's shard index in [0, shard-count)")
+		shardCount   = flag.Int("shard-count", 0, "cluster shard mode: fleet width; 0 disables shard mode")
+		shardFrom    = flag.String("shard-from", "", "cluster shard mode: peer base URL to bootstrap the shard snapshot from")
 		policyStr    = flag.String("weight-policy", "explicit", "dynamic mode: weight re-derivation after a mutation batch: explicit or wc")
 		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
@@ -92,7 +100,22 @@ func main() {
 	}
 	reg := influmax.NewMetricsRegistry()
 	var sketch *influmax.Sketch
-	if *dynamic {
+	var shard *influmax.ClusterShard
+	if *shardCount > 0 {
+		// Cluster shard mode: this replica serves one slice of the fleet's
+		// samples through the shard API and refuses seed queries (POST
+		// /v1/seeds goes to the immrouter fronting the fleet).
+		if *dynamic {
+			fatal("-shard-count and -dynamic are mutually exclusive: shards serve static sketches")
+		}
+		if *shardIndex < 0 || *shardIndex >= *shardCount {
+			fatal("-shard-index %d out of range for -shard-count %d", *shardIndex, *shardCount)
+		}
+		shard, err = prepareShard(g, key, *shardIndex, *shardCount, *snapshot, *shardFrom, *workers)
+		if err != nil {
+			fatal("%v", err)
+		}
+	} else if *dynamic {
 		// Dynamic mode: a snapshot, when present, warm-restarts the
 		// mutated state (its delta log is replayed over the base graph);
 		// otherwise Serve samples the initial sketch itself. The static
@@ -111,6 +134,7 @@ func main() {
 		Workers: *workers, Schedule: sched, Kernel: kernel, Store: store, MaxConcurrent: *concurrency, MaxQueue: *queue,
 		QueryTimeout: *timeout, Metrics: reg, EnablePprof: *pprofOn,
 		Sketch: sketch, Dynamic: *dynamic, WeightPolicy: policy,
+		ClusterShard: shard,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -142,6 +166,72 @@ func main() {
 		fmt.Fprintf(os.Stderr, "immserve: dynamic sketch persisted to %s (epoch %d)\n", *snapshot, sk.DeltaEpoch)
 	}
 	fmt.Fprintln(os.Stderr, "immserve: drained, bye")
+}
+
+// prepareShard resolves this replica's sample shard: a shard snapshot at
+// path warm-starts it; otherwise a running peer (-shard-from) streams its
+// snapshot over; otherwise the fleet is sampled locally and this replica
+// keeps its own slice. Whatever the source, the shard's identity must
+// match the flags — a slice from the wrong fleet would silently poison
+// routed selections.
+func prepareShard(g *influmax.Graph, key influmax.SketchKey, idx, count int, path, from string, workers int) (*influmax.ClusterShard, error) {
+	load := func(sh *influmax.ClusterShard, src string) (*influmax.ClusterShard, error) {
+		info := sh.Info()
+		if info.ShardIdx != idx || info.ShardCount != count {
+			return nil, fmt.Errorf("%s holds shard %d of %d, flags say %d of %d",
+				src, info.ShardIdx, info.ShardCount, idx, count)
+		}
+		if info.GraphDigest != key.GraphDigest || influmax.Model(info.Model) != key.Model ||
+			info.Epsilon != key.Epsilon || info.KMax != key.KMax || info.Seed != key.Seed {
+			return nil, fmt.Errorf("%s was sampled with a different configuration than the flags; delete it or match the flags", src)
+		}
+		fmt.Fprintf(os.Stderr, "immserve: shard %d/%d warm-started from %s (%d samples, epoch %d)\n",
+			idx, count, src, info.Samples, info.Epoch)
+		return sh, nil
+	}
+	if path != "" {
+		if _, err := os.Stat(path); err == nil {
+			sh, err := influmax.LoadShardSnapshot(path, 0, workers)
+			if err != nil {
+				return nil, err
+			}
+			return load(sh, path)
+		}
+	}
+	if from != "" {
+		sh, err := influmax.FetchShardSnapshot(from, nil, 0, workers)
+		if err != nil {
+			return nil, fmt.Errorf("bootstrapping from peer %s: %w", from, err)
+		}
+		if sh, err = load(sh, from); err != nil {
+			return nil, err
+		}
+		if path != "" {
+			if err := influmax.SaveShardSnapshot(path, sh); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "immserve: shard snapshot written to %s\n", path)
+		}
+		return sh, nil
+	}
+	start := time.Now()
+	shards, err := influmax.BuildShards(g, influmax.BuildShardsOptions{
+		K: key.KMax, Epsilon: key.Epsilon, Model: key.Model, Seed: key.Seed,
+		Shards: count, Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh := shards[idx]
+	fmt.Fprintf(os.Stderr, "immserve: shard %d/%d sampled in %v (%d of %d fleet samples)\n",
+		idx, count, time.Since(start).Round(time.Millisecond), sh.Info().Samples, sh.Info().Theta)
+	if path != "" {
+		if err := influmax.SaveShardSnapshot(path, sh); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "immserve: shard snapshot written to %s\n", path)
+	}
+	return sh, nil
 }
 
 // loadWarmSketch resolves the dynamic-mode warm start: a snapshot at path

@@ -5,9 +5,11 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"influmax/internal/baseline"
 	"influmax/internal/centrality"
+	"influmax/internal/cluster"
 	"influmax/internal/diffuse"
 	"influmax/internal/dist"
 	"influmax/internal/gen"
@@ -526,3 +528,81 @@ func StartCPUProfile(path string) (func() error, error) { return metrics.StartCP
 
 // WriteHeapProfile writes a heap profile to path after a GC.
 func WriteHeapProfile(path string) error { return metrics.WriteHeapProfile(path) }
+
+// Cluster surface: a shard fleet behind a router (DESIGN.md §16). Each
+// immserve replica owns one per-rank slice of the theta samples
+// (ServeConfig.ClusterShard) and exposes the four-op shard API; a router
+// (cmd/immrouter) fans seed selection out across the fleet, running the
+// sample-partitioned distributed greedy protocol over HTTP, and degrades
+// to the surviving shards when a replica dies.
+type (
+	// ClusterShard is one replica's slice of the fleet's samples plus the
+	// session state the shard API serves.
+	ClusterShard = cluster.Shard
+	// ClusterShardInfo is a shard's identity: its coordinates in the fleet
+	// and the sampling configuration it was built at.
+	ClusterShardInfo = cluster.ShardInfo
+	// BuildShardsOptions configures a deterministic fleet build.
+	BuildShardsOptions = cluster.BuildOptions
+	// ShardConn is the router's transport to one shard (HTTP or Comm).
+	ShardConn = cluster.Conn
+	// SeedRouter runs the distributed greedy loop over a shard fleet.
+	SeedRouter = cluster.Router
+	// RouterSelectResult is one routed selection: seeds plus degradation
+	// and per-shard provenance.
+	RouterSelectResult = cluster.SelectResult
+	// RouterServer is the HTTP front for a SeedRouter (POST /v1/seeds with
+	// optional NDJSON streaming, /healthz, /v1/metrics).
+	RouterServer = cluster.RouterServer
+	// RouterServerConfig sets the router's admission-control limits.
+	RouterServerConfig = cluster.RouterServerConfig
+)
+
+// ErrNoShards reports a routed query with every shard failed.
+var ErrNoShards = cluster.ErrNoShards
+
+// BuildShards samples one fleet deterministically: the union of the
+// returned shards' samples is byte-identical to the single-process sample
+// set at the same configuration, for any opt.Shards.
+func BuildShards(g *Graph, opt BuildShardsOptions) ([]*ClusterShard, error) {
+	return cluster.BuildShards(g, opt)
+}
+
+// SaveShardSnapshot persists one shard (identity header + standard sketch
+// snapshot) at path with an atomic rename.
+func SaveShardSnapshot(path string, sh *ClusterShard) error {
+	return cluster.SaveShardSnapshotFile(path, sh)
+}
+
+// LoadShardSnapshot restores a shard from a snapshot written by
+// SaveShardSnapshot. maxBytes bounds decode allocation (0 = default cap);
+// p is the index-rebuild parallelism.
+func LoadShardSnapshot(path string, maxBytes int64, p int) (*ClusterShard, error) {
+	return cluster.LoadShardSnapshotFile(path, maxBytes, p)
+}
+
+// FetchShardSnapshot bootstraps a shard from a running peer replica's
+// GET /v1/snapshot. base is the peer's base URL; client may be nil.
+func FetchShardSnapshot(base string, client *http.Client, maxBytes int64, p int) (*ClusterShard, error) {
+	return cluster.FetchShardSnapshot(base, client, maxBytes, p)
+}
+
+// NewShardHTTPConn dials one shard replica over HTTP. timeout is the
+// per-operation net timeout that bounds failure detection.
+func NewShardHTTPConn(base string, slot int, timeout time.Duration) ShardConn {
+	return cluster.NewHTTPConn(base, slot, timeout)
+}
+
+// NewSeedRouter probes every shard, validates the fleet's identity
+// (digest, sampling configuration, epoch), and returns a router ready to
+// Select. At least one shard must answer; unreachable shards start failed
+// and are re-probed on later queries. reg may be nil.
+func NewSeedRouter(conns []ShardConn, reg *MetricsRegistry) (*SeedRouter, error) {
+	return cluster.NewRouter(conns, reg)
+}
+
+// ServeRouter wraps a router in its HTTP front (no listener yet; call
+// Start or mount Handler).
+func ServeRouter(rt *SeedRouter, cfg RouterServerConfig) *RouterServer {
+	return cluster.NewRouterServer(rt, cfg)
+}

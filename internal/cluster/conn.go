@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"errors"
+	"time"
+
+	"influmax/internal/graph"
+	"influmax/internal/mpi"
+)
+
+// Message tags for the mpi.Comm transport (non-negative: the collectives
+// reserve negative tags).
+const (
+	tagRequest  = 64
+	tagResponse = 65
+)
+
+// Conn is the router's handle on one shard: the four wire operations over
+// whichever transport. Implementations convert every transport-level
+// failure (timeout, connection error, injected crash) into an
+// *mpi.RankFailedError whose Rank is the shard's fleet slot, so the
+// router's failure handling is transport-agnostic. A Conn is used by one
+// request at a time; the Router serializes per-shard traffic within a
+// query and gives concurrent queries distinct sessions.
+type Conn interface {
+	Info() (ShardInfo, error)
+	Start(session uint64) ([]int64, error)
+	Purge(session uint64, v graph.Vertex) ([]DecPair, error)
+	End(session uint64) error
+	Close() error
+}
+
+// failedErr coerces a transport error into *mpi.RankFailedError blaming
+// slot (already-typed failures pass through untouched).
+func failedErr(slot int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var rf *mpi.RankFailedError
+	if errors.As(err, &rf) {
+		return err
+	}
+	return &mpi.RankFailedError{Rank: slot, Err: err}
+}
+
+// CommConn speaks the shard protocol over an mpi.Comm point-to-point
+// channel to peer — the transport the deterministic failover tests run
+// on, since the comm can be wrapped in mpi.WithFaults kill plans. timeout
+// bounds each response wait; expiry surfaces the shard as failed.
+type CommConn struct {
+	c       mpi.Comm
+	peer    int
+	slot    int
+	timeout time.Duration
+}
+
+// NewCommConn wraps one peer rank of c as a shard connection for fleet
+// slot `slot`.
+func NewCommConn(c mpi.Comm, peer, slot int, timeout time.Duration) *CommConn {
+	return &CommConn{c: c, peer: peer, slot: slot, timeout: timeout}
+}
+
+func (cc *CommConn) roundTrip(req request) ([]byte, error) {
+	if err := cc.c.Send(cc.peer, tagRequest, encodeRequest(req)); err != nil {
+		return nil, failedErr(cc.slot, err)
+	}
+	var payload []byte
+	var err error
+	if dr, ok := cc.c.(mpi.DeadlineRecver); ok {
+		payload, err = dr.RecvDeadline(cc.peer, tagResponse, cc.timeout)
+	} else {
+		payload, err = cc.c.Recv(cc.peer, tagResponse)
+	}
+	if err != nil {
+		return nil, failedErr(cc.slot, err)
+	}
+	return payload, nil
+}
+
+func (cc *CommConn) Info() (ShardInfo, error) {
+	resp, err := cc.roundTrip(request{op: opInfo})
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	return decodeInfoResp(resp)
+}
+
+func (cc *CommConn) Start(session uint64) ([]int64, error) {
+	resp, err := cc.roundTrip(request{op: opStart, session: session})
+	if err != nil {
+		return nil, err
+	}
+	return decodeCountsResp(resp)
+}
+
+func (cc *CommConn) Purge(session uint64, v graph.Vertex) ([]DecPair, error) {
+	resp, err := cc.roundTrip(request{op: opPurge, session: session, vertex: v})
+	if err != nil {
+		return nil, err
+	}
+	return decodeDecsResp(resp)
+}
+
+func (cc *CommConn) End(session uint64) error {
+	resp, err := cc.roundTrip(request{op: opEnd, session: session})
+	if err != nil {
+		return err
+	}
+	return decodeAckResp(resp)
+}
+
+func (cc *CommConn) Close() error { return nil }
+
+// ServeComm runs sh's request loop over c: receive a request from the
+// router rank, execute, reply, until the communicator dies (the returned
+// error; a closed comm is the normal shutdown path). Protocol-level
+// failures (bad request, unknown session) are answered in-band and do not
+// stop the loop.
+func ServeComm(c mpi.Comm, router int, sh *Shard) error {
+	for {
+		payload, err := c.Recv(router, tagRequest)
+		if err != nil {
+			return err
+		}
+		var resp []byte
+		if req, derr := decodeRequest(payload); derr != nil {
+			resp = encodeErrorResp(derr.Error())
+		} else {
+			resp = sh.handle(req)
+		}
+		if err := c.Send(router, tagResponse, resp); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package cluster turns a fleet of immserve replicas into one logical
+// seed-serving system: each replica owns a shard of the theta RRR samples
+// (a per-rank slice, exactly what one rank of internal/dist would hold)
+// and a thin router runs the sample-partitioned greedy protocol across
+// them — rounds of merged coverage counts and purge decrements, the
+// internal/dist Algorithm 4 re-hosted behind a shard API.
+//
+// The shard API has four operations (info, start-session, purge, end) with
+// one binary wire codec spoken over two interchangeable transports: HTTP
+// (HTTPConn against a shard-mode immserve, the production path) and an
+// mpi.Comm (CommConn/ServeComm, which plugs straight into mpi.WithFaults
+// so replica death and failover are testable deterministically). Shards
+// bootstrap from a v3 snapshot wrapped in a small shard header — written
+// locally, or streamed from a peer via GET /v1/snapshot.
+//
+// Because sampling runs in imm.PerSample mode, the union of the shards'
+// samples is the single-process sample set, and the router's greedy loop
+// is the same integer recurrence as imm.SelectSeedsSketch — so a fleet
+// answers POST /v1/seeds byte-identically to one immserve holding the
+// whole sketch. A replica that dies mid-query surfaces as a typed
+// mpi.RankFailedError within the configured net timeout; the router
+// restarts the round on the survivors, replays the seeds already chosen,
+// and serves a degraded result naming the failed shards. DESIGN.md §16 is
+// the normative spec.
+package cluster

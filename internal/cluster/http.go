@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"influmax/internal/graph"
+)
+
+// The HTTP transport: a shard-mode immserve mounts the three shard
+// routes (ServeOp, ServeInfo, ServeSnapshot) on its mux, and the router
+// dials them through HTTPConn. Data-plane bodies are the binary protocol
+// codec — the same bytes the mpi transport carries — while /v1/shard/info
+// doubles as a human-readable JSON endpoint.
+
+// ShardOpPath is the data-plane route: POST with a binary protocol
+// request body, 200 with a binary protocol response body.
+const ShardOpPath = "/v1/shard/op"
+
+// maxOpBody bounds one shard-op request body (the largest request is 13
+// bytes; the slack is pure defensiveness).
+const maxOpBody = 1 << 10
+
+// ServeOp handles POST /v1/shard/op.
+func (sh *Shard) ServeOp(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxOpBody))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var resp []byte
+	if req, derr := decodeRequest(body); derr != nil {
+		resp = encodeErrorResp(derr.Error())
+	} else {
+		resp = sh.handle(req)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(resp)
+}
+
+// ServeInfo handles GET /v1/shard/info with a JSON ShardInfo.
+func (sh *Shard) ServeInfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"shardIdx":%d,"shardCount":%d,"epoch":%d,"samples":%d,"numVertices":%d,"graphDigest":"%016x","model":%d,"epsilon":%g,"kMax":%d,"seed":%d,"theta":%d}`+"\n",
+		sh.ShardIdx, sh.ShardCount, sh.Epoch, sh.Col.Count(), sh.Col.NumVertices(),
+		sh.Meta.GraphDigest, sh.Meta.Model, sh.Meta.Epsilon, sh.Meta.KMax, sh.Meta.Seed, sh.Meta.Theta)
+}
+
+// ServeSnapshot handles GET /v1/snapshot: it streams the shard snapshot
+// (header + v3 sketch snapshot) so a peer replica can warm-start without
+// resampling; net/http chunks the transfer.
+func (sh *Shard) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := WriteShardSnapshot(w, sh); err != nil {
+		// Headers are gone; all we can do is cut the stream so the peer's
+		// CRC check fails instead of accepting a truncated shard.
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+}
+
+// HTTPConn speaks the shard protocol to a shard-mode immserve replica at
+// base ("http://host:port"). The client timeout is the net timeout: a
+// replica that dies mid-query surfaces as *mpi.RankFailedError within it.
+type HTTPConn struct {
+	base   string
+	slot   int
+	client *http.Client
+}
+
+// NewHTTPConn dials the replica at base as fleet slot `slot`; timeout <= 0
+// defaults to 30s.
+func NewHTTPConn(base string, slot int, timeout time.Duration) *HTTPConn {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &HTTPConn{base: base, slot: slot, client: &http.Client{Timeout: timeout}}
+}
+
+func (hc *HTTPConn) roundTrip(req request) ([]byte, error) {
+	resp, err := hc.client.Post(hc.base+ShardOpPath, "application/octet-stream",
+		bytes.NewReader(encodeRequest(req)))
+	if err != nil {
+		return nil, failedErr(hc.slot, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, failedErr(hc.slot, fmt.Errorf("shard answered %s: %s", resp.Status, bytes.TrimSpace(body)))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, failedErr(hc.slot, err)
+	}
+	return body, nil
+}
+
+func (hc *HTTPConn) Info() (ShardInfo, error) {
+	resp, err := hc.roundTrip(request{op: opInfo})
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	return decodeInfoResp(resp)
+}
+
+func (hc *HTTPConn) Start(session uint64) ([]int64, error) {
+	resp, err := hc.roundTrip(request{op: opStart, session: session})
+	if err != nil {
+		return nil, err
+	}
+	return decodeCountsResp(resp)
+}
+
+func (hc *HTTPConn) Purge(session uint64, v graph.Vertex) ([]DecPair, error) {
+	resp, err := hc.roundTrip(request{op: opPurge, session: session, vertex: v})
+	if err != nil {
+		return nil, err
+	}
+	return decodeDecsResp(resp)
+}
+
+func (hc *HTTPConn) End(session uint64) error {
+	resp, err := hc.roundTrip(request{op: opEnd, session: session})
+	if err != nil {
+		return err
+	}
+	return decodeAckResp(resp)
+}
+
+func (hc *HTTPConn) Close() error {
+	hc.client.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"influmax/internal/graph"
+)
+
+// The shard wire protocol: one request/response codec shared by the HTTP
+// transport (POST /v1/shard/op bodies) and the mpi.Comm transport
+// (ServeComm message payloads), so the two paths cannot drift. All
+// integers are little-endian; vertices and sample decrements are uint32,
+// coverage counts int64 (they are summed across shards).
+
+// Shard operations.
+const (
+	opInfo  byte = 1 // -> ShardInfo
+	opStart byte = 2 // session id -> dense per-vertex coverage counts
+	opPurge byte = 3 // session id + seed vertex -> sparse decrements
+	opEnd   byte = 4 // session id -> ack
+)
+
+// Response status bytes.
+const (
+	statusOK   byte = 0
+	statusFail byte = 1
+)
+
+// ShardInfo identifies one shard and the sketch configuration it was
+// sampled under. The router validates that every shard of a fleet agrees
+// on everything except ShardIdx before serving.
+type ShardInfo struct {
+	ShardIdx    int     `json:"shardIdx"`
+	ShardCount  int     `json:"shardCount"`
+	Epoch       uint64  `json:"epoch"`
+	Samples     int     `json:"samples"`
+	NumVertices int     `json:"numVertices"`
+	GraphDigest uint64  `json:"graphDigest"`
+	Model       uint8   `json:"model"`
+	Epsilon     float64 `json:"epsilon"`
+	KMax        int     `json:"kMax"`
+	Seed        uint64  `json:"seed"`
+	Theta       int64   `json:"theta"`
+}
+
+// DecPair is one sparse purge decrement: seed selection subtracts Dec
+// from vertex V's merged coverage count.
+type DecPair struct {
+	V   graph.Vertex
+	Dec uint32
+}
+
+// request is one decoded shard operation.
+type request struct {
+	op      byte
+	session uint64
+	vertex  graph.Vertex
+}
+
+func encodeRequest(r request) []byte {
+	buf := make([]byte, 0, 13)
+	buf = append(buf, r.op)
+	switch r.op {
+	case opStart, opEnd:
+		buf = binary.LittleEndian.AppendUint64(buf, r.session)
+	case opPurge:
+		buf = binary.LittleEndian.AppendUint64(buf, r.session)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.vertex))
+	}
+	return buf
+}
+
+func decodeRequest(b []byte) (request, error) {
+	if len(b) < 1 {
+		return request{}, fmt.Errorf("cluster: empty request")
+	}
+	r := request{op: b[0]}
+	rest := b[1:]
+	switch r.op {
+	case opInfo:
+		if len(rest) != 0 {
+			return request{}, fmt.Errorf("cluster: info request carries %d trailing bytes", len(rest))
+		}
+	case opStart, opEnd:
+		if len(rest) != 8 {
+			return request{}, fmt.Errorf("cluster: op %d wants an 8-byte session id, got %d bytes", r.op, len(rest))
+		}
+		r.session = binary.LittleEndian.Uint64(rest)
+	case opPurge:
+		if len(rest) != 12 {
+			return request{}, fmt.Errorf("cluster: purge wants session id + vertex (12 bytes), got %d", len(rest))
+		}
+		r.session = binary.LittleEndian.Uint64(rest)
+		r.vertex = graph.Vertex(binary.LittleEndian.Uint32(rest[8:]))
+	default:
+		return request{}, fmt.Errorf("cluster: unknown op %d", r.op)
+	}
+	return r, nil
+}
+
+// encodeErrorResp wraps a shard-side failure (unknown session, malformed
+// request) for the wire. Transport-level failures never reach this path —
+// they surface as mpi.RankFailedError on the router.
+func encodeErrorResp(msg string) []byte {
+	buf := make([]byte, 0, 3+len(msg))
+	buf = append(buf, statusFail)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(min(len(msg), 1<<16-1)))
+	return append(buf, msg[:min(len(msg), 1<<16-1)]...)
+}
+
+func encodeInfoResp(info ShardInfo) []byte {
+	buf := make([]byte, 0, 70)
+	buf = append(buf, statusOK)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(info.ShardIdx))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(info.ShardCount))
+	buf = binary.LittleEndian.AppendUint64(buf, info.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(info.Samples))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(info.NumVertices))
+	buf = binary.LittleEndian.AppendUint64(buf, info.GraphDigest)
+	buf = append(buf, info.Model)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(info.Epsilon))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(info.KMax))
+	buf = binary.LittleEndian.AppendUint64(buf, info.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(info.Theta))
+	return buf
+}
+
+func encodeCountsResp(counts []int64) []byte {
+	buf := make([]byte, 0, 5+8*len(counts))
+	buf = append(buf, statusOK)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(counts)))
+	for _, c := range counts {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+	}
+	return buf
+}
+
+func encodeDecsResp(pairs []DecPair) []byte {
+	buf := make([]byte, 0, 5+8*len(pairs))
+	buf = append(buf, statusOK)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pairs)))
+	for _, p := range pairs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.V))
+		buf = binary.LittleEndian.AppendUint32(buf, p.Dec)
+	}
+	return buf
+}
+
+func encodeAckResp() []byte { return []byte{statusOK} }
+
+// checkResp strips the status byte, converting a statusFail envelope into
+// an error.
+func checkResp(b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("cluster: empty response")
+	}
+	switch b[0] {
+	case statusOK:
+		return b[1:], nil
+	case statusFail:
+		if len(b) < 3 {
+			return nil, fmt.Errorf("cluster: truncated error response")
+		}
+		l := int(binary.LittleEndian.Uint16(b[1:]))
+		if len(b) < 3+l {
+			return nil, fmt.Errorf("cluster: truncated error response")
+		}
+		return nil, fmt.Errorf("cluster: shard error: %s", b[3:3+l])
+	default:
+		return nil, fmt.Errorf("cluster: unknown response status %d", b[0])
+	}
+}
+
+func decodeInfoResp(b []byte) (ShardInfo, error) {
+	body, err := checkResp(b)
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	if len(body) != 61 {
+		return ShardInfo{}, fmt.Errorf("cluster: info response is %d bytes, want 61", len(body))
+	}
+	var info ShardInfo
+	info.ShardIdx = int(binary.LittleEndian.Uint32(body))
+	info.ShardCount = int(binary.LittleEndian.Uint32(body[4:]))
+	info.Epoch = binary.LittleEndian.Uint64(body[8:])
+	info.Samples = int(binary.LittleEndian.Uint32(body[16:]))
+	info.NumVertices = int(binary.LittleEndian.Uint32(body[20:]))
+	info.GraphDigest = binary.LittleEndian.Uint64(body[24:])
+	info.Model = body[32]
+	info.Epsilon = math.Float64frombits(binary.LittleEndian.Uint64(body[33:]))
+	info.KMax = int(binary.LittleEndian.Uint32(body[41:]))
+	info.Seed = binary.LittleEndian.Uint64(body[45:])
+	info.Theta = int64(binary.LittleEndian.Uint64(body[53:]))
+	return info, nil
+}
+
+func decodeCountsResp(b []byte) ([]int64, error) {
+	body, err := checkResp(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("cluster: truncated counts response")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	if len(body) != 8*n {
+		return nil, fmt.Errorf("cluster: counts response claims %d entries, carries %d bytes", n, len(body))
+	}
+	counts := make([]int64, n)
+	for i := range counts {
+		counts[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return counts, nil
+}
+
+func decodeDecsResp(b []byte) ([]DecPair, error) {
+	body, err := checkResp(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("cluster: truncated decrement response")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	if len(body) != 8*n {
+		return nil, fmt.Errorf("cluster: decrement response claims %d pairs, carries %d bytes", n, len(body))
+	}
+	pairs := make([]DecPair, n)
+	for i := range pairs {
+		pairs[i].V = graph.Vertex(binary.LittleEndian.Uint32(body[8*i:]))
+		pairs[i].Dec = binary.LittleEndian.Uint32(body[8*i+4:])
+	}
+	return pairs, nil
+}
+
+func decodeAckResp(b []byte) error {
+	_, err := checkResp(b)
+	return err
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestProtocolRequestRoundTrip(t *testing.T) {
+	cases := []request{
+		{op: opInfo},
+		{op: opStart, session: 0},
+		{op: opStart, session: 1<<64 - 1},
+		{op: opEnd, session: 42},
+		{op: opPurge, session: 7, vertex: 0},
+		{op: opPurge, session: 9, vertex: 1<<32 - 1},
+	}
+	for _, want := range cases {
+		got, err := decodeRequest(encodeRequest(want))
+		if err != nil {
+			t.Fatalf("op %d: %v", want.op, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestProtocolRejectsMalformedRequests(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{99},                     // unknown op
+		{opStart, 1, 2, 3},       // short session
+		{opPurge, 1, 2, 3, 4, 5}, // short purge
+		append(encodeRequest(request{op: opInfo}), 0xff), // trailing bytes
+	}
+	for i, b := range bad {
+		if _, err := decodeRequest(b); err == nil {
+			t.Fatalf("case %d: malformed request %v decoded without error", i, b)
+		}
+	}
+}
+
+func TestProtocolResponseRoundTrips(t *testing.T) {
+	info := ShardInfo{
+		ShardIdx: 2, ShardCount: 5, Epoch: 9, Samples: 1234, NumVertices: 999,
+		GraphDigest: 0xdeadbeefcafef00d, Model: 1, Epsilon: 0.25, KMax: 50,
+		Seed: 77, Theta: 123456789,
+	}
+	got, err := decodeInfoResp(encodeInfoResp(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info {
+		t.Fatalf("info round trip: got %+v, want %+v", got, info)
+	}
+
+	counts := []int64{0, 5, -1, 1 << 40, 3}
+	gotCounts, err := decodeCountsResp(encodeCountsResp(counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(gotCounts, counts) {
+		t.Fatalf("counts round trip: got %v, want %v", gotCounts, counts)
+	}
+
+	pairs := []DecPair{{V: 0, Dec: 1}, {V: 4096, Dec: 2}, {V: 1<<32 - 1, Dec: 1 << 31}}
+	gotPairs, err := decodeDecsResp(encodeDecsResp(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(gotPairs, pairs) {
+		t.Fatalf("decs round trip: got %v, want %v", gotPairs, pairs)
+	}
+
+	if err := decodeAckResp(encodeAckResp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeAckResp(encodeErrorResp("boom")); err == nil {
+		t.Fatal("error response decoded as ack")
+	}
+}
+
+func TestProtocolRejectsTruncatedResponses(t *testing.T) {
+	if _, err := decodeCountsResp(encodeCountsResp([]int64{1, 2, 3})[:10]); err == nil {
+		t.Fatal("truncated counts accepted")
+	}
+	if _, err := decodeDecsResp(encodeDecsResp([]DecPair{{V: 1, Dec: 1}})[:6]); err == nil {
+		t.Fatal("truncated decs accepted")
+	}
+	if _, err := decodeInfoResp([]byte{statusOK, 1, 2}); err == nil {
+		t.Fatal("short info accepted")
+	}
+	if _, err := checkResp([]byte{statusFail, 200, 0}); err == nil {
+		t.Fatal("error envelope with over-claimed length accepted")
+	}
+}

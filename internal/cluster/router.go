@@ -1,0 +1,482 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"influmax/internal/graph"
+	"influmax/internal/metrics"
+)
+
+// probeInterval rate-limits rejoin probing of failed shards: at most one
+// probe sweep per interval, so a down replica costs queries one timeout
+// per interval, not one per query.
+const probeInterval = time.Second
+
+// ErrNoShards reports a query that found no live shard to serve from.
+var ErrNoShards = errors.New("cluster: no shards alive")
+
+// Router fans a seed query out over a shard fleet and runs the
+// sample-partitioned greedy protocol (internal/dist Algorithm 4, re-hosted
+// behind the shard API): one merged coverage counter at session start,
+// then per-seed rounds of identical sequential argmax and merged purge
+// decrements. Because the merge is integer addition and the argmax scans
+// ascending with strict >, the selected seeds are byte-identical to a
+// single process holding the union of the shards' samples.
+//
+// A shard that fails mid-query (typed *mpi.RankFailedError from its Conn,
+// within the transport's net timeout) is dropped: the router starts fresh
+// sessions on the survivors, replays the seeds already chosen to rebuild
+// counter state, and finishes the query degraded — the pre-failure seed
+// prefix stands, the response names the failed shards. Failed shards are
+// re-probed (at most once per second) and rejoin automatically once they
+// answer with a matching identity again.
+type Router struct {
+	conns []Conn
+	canon ShardInfo // fleet-wide configuration (ShardIdx/Samples not meaningful)
+
+	mu        sync.Mutex
+	failed    []bool
+	info      []ShardInfo
+	lastProbe time.Time
+
+	nextSession atomic.Uint64
+
+	reg                                      *metrics.Registry
+	mQueries, mDegraded, mFailovers, mRounds *metrics.Counter
+	mShardsAlive                             *metrics.Gauge
+	mLatency                                 *metrics.Histogram
+}
+
+// NewRouter probes every shard connection and validates that the fleet is
+// coherent: conn i must be shard i of len(conns), and all shards must
+// agree on the sketch configuration (graph digest, model, epsilon, kMax,
+// seed, theta, vertex count, epoch). Shards that do not answer the probe
+// start out failed (the fleet serves degraded until they rejoin); at
+// least one shard must answer. reg may be nil.
+func NewRouter(conns []Conn, reg *metrics.Registry) (*Router, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("cluster: router needs at least one shard connection")
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	rt := &Router{
+		conns:        conns,
+		failed:       make([]bool, len(conns)),
+		info:         make([]ShardInfo, len(conns)),
+		reg:          reg,
+		mQueries:     reg.Counter("router/queries"),
+		mDegraded:    reg.Counter("router/degraded"),
+		mFailovers:   reg.Counter("router/failovers"),
+		mRounds:      reg.Counter("router/rounds"),
+		mShardsAlive: reg.Gauge("router/shards-alive"),
+		mLatency:     reg.Histogram("router/query-us"),
+	}
+	infos := make([]ShardInfo, len(conns))
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			infos[i], errs[i] = c.Info()
+		}(i, c)
+	}
+	wg.Wait()
+	first := -1
+	for i := range conns {
+		if errs[i] == nil {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return nil, fmt.Errorf("cluster: no shard answered the startup probe (first error: %w)", errs[0])
+	}
+	rt.canon = infos[first]
+	for i := range conns {
+		if errs[i] != nil {
+			rt.failed[i] = true
+			continue
+		}
+		if err := rt.admit(i, infos[i]); err != nil {
+			return nil, err
+		}
+	}
+	rt.mShardsAlive.Set(int64(len(rt.aliveLocked())))
+	return rt, nil
+}
+
+// admit validates one shard's identity against the fleet and records its
+// info. Caller holds mu (or is still inside NewRouter).
+func (rt *Router) admit(slot int, info ShardInfo) error {
+	c := rt.canon
+	switch {
+	case info.ShardCount != len(rt.conns):
+		return fmt.Errorf("cluster: shard %d says the fleet has %d shards, router has %d connections", slot, info.ShardCount, len(rt.conns))
+	case info.ShardIdx != slot:
+		return fmt.Errorf("cluster: connection %d reached shard %d; order the -shards list by shard index", slot, info.ShardIdx)
+	case info.GraphDigest != c.GraphDigest, info.Model != c.Model, info.Epsilon != c.Epsilon,
+		info.KMax != c.KMax, info.Seed != c.Seed, info.Theta != c.Theta,
+		info.NumVertices != c.NumVertices, info.Epoch != c.Epoch:
+		return fmt.Errorf("cluster: shard %d was sampled under a different configuration than shard %d (graph %016x vs %016x, model %d vs %d, eps %g vs %g, kMax %d vs %d, seed %d vs %d, theta %d vs %d, epoch %d vs %d)",
+			slot, c.ShardIdx, info.GraphDigest, c.GraphDigest, info.Model, c.Model,
+			info.Epsilon, c.Epsilon, info.KMax, c.KMax, info.Seed, c.Seed,
+			info.Theta, c.Theta, info.Epoch, c.Epoch)
+	}
+	rt.info[slot] = info
+	return nil
+}
+
+// Fleet reports the fleet-wide sketch configuration the router validated
+// at startup.
+func (rt *Router) Fleet() ShardInfo { return rt.canon }
+
+// Shards returns the fleet width.
+func (rt *Router) Shards() int { return len(rt.conns) }
+
+// FailedShards returns the slots currently considered failed, sorted.
+func (rt *Router) FailedShards() []int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.failedLocked()
+}
+
+func (rt *Router) failedLocked() []int {
+	var out []int
+	for i, f := range rt.failed {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (rt *Router) aliveLocked() []int {
+	out := make([]int, 0, len(rt.conns))
+	for i, f := range rt.failed {
+		if !f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// markFailed records slots as failed.
+func (rt *Router) markFailed(slots []int) {
+	rt.mu.Lock()
+	for _, s := range slots {
+		rt.failed[s] = true
+	}
+	alive := len(rt.aliveLocked())
+	rt.mu.Unlock()
+	rt.mShardsAlive.Set(int64(alive))
+}
+
+// alive returns the live slots, first re-probing failed shards (rate
+// limited) so a restarted replica rejoins without a router restart. A
+// rejoining shard must present the exact fleet identity it had before.
+func (rt *Router) alive() []int {
+	rt.mu.Lock()
+	var toProbe []int
+	if time.Since(rt.lastProbe) >= probeInterval {
+		toProbe = rt.failedLocked()
+		rt.lastProbe = time.Now()
+	}
+	rt.mu.Unlock()
+	if len(toProbe) > 0 {
+		infos := make([]ShardInfo, len(toProbe))
+		errs := make([]error, len(toProbe))
+		var wg sync.WaitGroup
+		for i, slot := range toProbe {
+			wg.Add(1)
+			go func(i, slot int) {
+				defer wg.Done()
+				infos[i], errs[i] = rt.conns[slot].Info()
+			}(i, slot)
+		}
+		wg.Wait()
+		rt.mu.Lock()
+		for i, slot := range toProbe {
+			if errs[i] == nil && rt.admit(slot, infos[i]) == nil {
+				rt.failed[slot] = false
+			}
+		}
+		rt.mu.Unlock()
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := rt.aliveLocked()
+	rt.mShardsAlive.Set(int64(len(out)))
+	return out
+}
+
+// SelectResult is one routed query's outcome.
+type SelectResult struct {
+	// Seeds is the selected set in greedy order; Gains[i] is the marginal
+	// covered-sample count of Seeds[i] under the shards that contributed
+	// to the final counter state (after a failover, gains are recomputed
+	// over the survivors so the summary is self-consistent).
+	Seeds []graph.Vertex
+	Gains []int64
+	// CoverageFraction is covered/total over the participating shards'
+	// samples; EstimatedSpread is n * CoverageFraction.
+	CoverageFraction float64
+	EstimatedSpread  float64
+	// Theta is the fleet's sample count; TotalSamples the samples actually
+	// participating (smaller than Theta when shards are down).
+	Theta        int64
+	TotalSamples int64
+	// Shards is the fleet width; FailedShards lists the slots that did not
+	// participate (failed before or during this query), sorted; Degraded
+	// mirrors len(FailedShards) > 0.
+	Shards       int
+	FailedShards []int
+	Degraded     bool
+	// ShardEpochs is each slot's last-known mutation epoch.
+	ShardEpochs []uint64
+	// Rounds counts greedy purge rounds, including failover replays.
+	Rounds int
+	// Duration is the query wall time.
+	Duration time.Duration
+}
+
+// Select runs the distributed greedy loop for k seeds. onSeed, when
+// non-nil, is called after each seed is committed (the streaming hook);
+// gains reported there are as-of selection time and may be restated in
+// the final result if a failover intervened.
+func (rt *Router) Select(k int, onSeed func(i int, v graph.Vertex, gain int64)) (*SelectResult, error) {
+	start := time.Now()
+	if k < 1 || k > rt.canon.KMax {
+		return nil, fmt.Errorf("cluster: k = %d, want 1 <= k <= kMax = %d", k, rt.canon.KMax)
+	}
+	alive := rt.alive()
+	if len(alive) == 0 {
+		return nil, ErrNoShards
+	}
+	rt.mQueries.Inc()
+
+	n := rt.canon.NumVertices
+	session := rt.nextSession.Add(1)
+	counter, alive, err := rt.startRound(session, alive)
+	if err != nil {
+		return nil, err
+	}
+
+	chosen := make([]bool, n)
+	seeds := make([]graph.Vertex, 0, k)
+	gains := make([]int64, 0, k)
+	var coveredCount int64
+	rounds := 0
+
+	for len(seeds) < k {
+		// Identical integer argmax as dist.selectSeedsIndexed: ascending
+		// scan, strict >, so ties break to the lowest vertex.
+		best, arg := int64(-1), -1
+		for v := 0; v < n; v++ {
+			if !chosen[v] && counter[v] > best {
+				best, arg = counter[v], v
+			}
+		}
+		if arg < 0 {
+			break
+		}
+		v := graph.Vertex(arg)
+		seeds = append(seeds, v)
+		gains = append(gains, counter[arg])
+		chosen[arg] = true
+		coveredCount += counter[arg]
+		if onSeed != nil {
+			onSeed(len(seeds)-1, v, counter[arg])
+		}
+
+		rounds++
+		rt.mRounds.Inc()
+		decs, failedNow := rt.purgeRound(session, alive, v)
+		if len(failedNow) == 0 {
+			applyDecs(counter, decs)
+			continue
+		}
+
+		// Failover: drop the failed shards, rebuild counter state on the
+		// survivors with fresh sessions, replay the committed seeds (their
+		// purges re-cover the survivors' samples), then continue greedily.
+		rt.mFailovers.Inc()
+		rt.markFailed(failedNow)
+		alive = subtract(alive, failedNow)
+		for {
+			if len(alive) == 0 {
+				return nil, fmt.Errorf("cluster: every shard failed mid-query (last: shard %d)", failedNow[len(failedNow)-1])
+			}
+			session = rt.nextSession.Add(1)
+			counter, alive, err = rt.startRound(session, alive)
+			if err != nil {
+				return nil, err
+			}
+			coveredCount = 0
+			ok := true
+			for i, s := range seeds {
+				gains[i] = counter[s]
+				coveredCount += counter[s]
+				rounds++
+				rt.mRounds.Inc()
+				decs, failedNow = rt.purgeRound(session, alive, s)
+				if len(failedNow) > 0 {
+					rt.mFailovers.Inc()
+					rt.markFailed(failedNow)
+					alive = subtract(alive, failedNow)
+					ok = false
+					break
+				}
+				applyDecs(counter, decs)
+			}
+			if ok {
+				break
+			}
+		}
+	}
+	rt.endRound(session, alive)
+
+	var totalSamples int64
+	rt.mu.Lock()
+	for _, slot := range alive {
+		totalSamples += int64(rt.info[slot].Samples)
+	}
+	epochs := make([]uint64, len(rt.conns))
+	for i := range rt.conns {
+		epochs[i] = rt.info[i].Epoch
+	}
+	rt.mu.Unlock()
+	failedSlots := rt.FailedShards()
+	sort.Ints(failedSlots)
+	if len(failedSlots) > 0 {
+		rt.mDegraded.Inc()
+	}
+
+	res := &SelectResult{
+		Seeds:        seeds,
+		Gains:        gains,
+		Theta:        rt.canon.Theta,
+		TotalSamples: totalSamples,
+		Shards:       len(rt.conns),
+		FailedShards: failedSlots,
+		Degraded:     len(failedSlots) > 0,
+		ShardEpochs:  epochs,
+		Rounds:       rounds,
+		Duration:     time.Since(start),
+	}
+	if totalSamples > 0 {
+		res.CoverageFraction = float64(coveredCount) / float64(totalSamples)
+	}
+	res.EstimatedSpread = res.CoverageFraction * float64(n)
+	rt.mLatency.Observe(res.Duration.Microseconds())
+	return res, nil
+}
+
+// startRound opens session on every slot in parallel and merges the
+// shards' coverage counts. Slots that fail are marked and dropped; an
+// error comes back only when nobody survives.
+func (rt *Router) startRound(session uint64, slots []int) ([]int64, []int, error) {
+	counts := make([][]int64, len(slots))
+	failedNow := rt.fanout(slots, func(i, slot int) error {
+		var err error
+		counts[i], err = rt.conns[slot].Start(session)
+		if err == nil && len(counts[i]) != rt.canon.NumVertices {
+			err = fmt.Errorf("cluster: shard %d returned %d counts, want %d", slot, len(counts[i]), rt.canon.NumVertices)
+		}
+		return err
+	})
+	if len(failedNow) > 0 {
+		rt.markFailed(failedNow)
+		slots = subtract(slots, failedNow)
+	}
+	if len(slots) == 0 {
+		return nil, nil, ErrNoShards
+	}
+	merged := make([]int64, rt.canon.NumVertices)
+	for _, c := range counts {
+		if c == nil {
+			continue
+		}
+		for v, x := range c {
+			merged[v] += x
+		}
+	}
+	return merged, slots, nil
+}
+
+// purgeRound purges v on every slot in parallel, returning the per-slot
+// sparse decrements and the slots that failed this round.
+func (rt *Router) purgeRound(session uint64, slots []int, v graph.Vertex) ([][]DecPair, []int) {
+	decs := make([][]DecPair, len(slots))
+	failedNow := rt.fanout(slots, func(i, slot int) error {
+		var err error
+		decs[i], err = rt.conns[slot].Purge(session, v)
+		return err
+	})
+	return decs, failedNow
+}
+
+// endRound closes the sessions, best-effort.
+func (rt *Router) endRound(session uint64, slots []int) {
+	rt.fanout(slots, func(i, slot int) error {
+		rt.conns[slot].End(session)
+		return nil
+	})
+}
+
+// fanout runs f(i, slot) concurrently over slots and returns the slots
+// whose call failed, in slots order (deterministic for a given failure
+// set).
+func (rt *Router) fanout(slots []int, f func(i, slot int) error) []int {
+	errs := make([]error, len(slots))
+	var wg sync.WaitGroup
+	for i, slot := range slots {
+		wg.Add(1)
+		go func(i, slot int) {
+			defer wg.Done()
+			errs[i] = f(i, slot)
+		}(i, slot)
+	}
+	wg.Wait()
+	var failed []int
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, slots[i])
+		}
+	}
+	return failed
+}
+
+// applyDecs subtracts every shard's sparse decrements from the merged
+// counter — addition, so arrival order is irrelevant.
+func applyDecs(counter []int64, decs [][]DecPair) {
+	for _, ds := range decs {
+		for _, p := range ds {
+			counter[p.V] -= int64(p.Dec)
+		}
+	}
+}
+
+// subtract returns slots minus drop, preserving order.
+func subtract(slots, drop []int) []int {
+	out := slots[:0:len(slots)]
+	for _, s := range slots {
+		dead := false
+		for _, d := range drop {
+			if s == d {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			out = append(out, s)
+		}
+	}
+	return out
+}

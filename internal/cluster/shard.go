@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"influmax/internal/graph"
+	"influmax/internal/rrr"
+)
+
+// maxSessions bounds concurrently open greedy sessions per shard; past it
+// the oldest session is evicted (its router sees an unknown-session error
+// and treats the shard as failed for that query, never a hang).
+const maxSessions = 64
+
+// Shard is one replica's slice of the theta RRR samples, query-ready: the
+// byte-coded collection, its inverted incidence index, and the sketch
+// configuration it was sampled under. The sample slice is exactly what
+// rank ShardIdx of an internal/dist run over ShardCount ranks holds, so
+// the union over a full fleet is the single-process sample set (PerSample
+// RNG mode makes sample i a pure function of (seed, i)).
+//
+// A Shard serves any number of concurrent greedy sessions; each session
+// carries only a covered bitset over the local samples. All mutating
+// calls are serialized on an internal mutex — the per-operation work is
+// proportional to the purge, not the store.
+type Shard struct {
+	// Meta is the sketch configuration (graph digest, model, epsilon,
+	// kMax, seed, theta) shared by every shard of the fleet.
+	Meta rrr.SnapshotMeta
+	// Col holds this shard's samples; Idx is its inverted incidence.
+	Col *rrr.CodedCollection
+	Idx *rrr.Index
+	// ShardIdx/ShardCount place this shard in the fleet's partition.
+	ShardIdx   int
+	ShardCount int
+	// Epoch counts the mutation batches folded into this shard (zero for
+	// static sketches). The router refuses to merge counts across shards
+	// at different epochs.
+	Epoch uint64
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	seq      uint64
+	// Purge scratch, guarded by mu: dense decrement accumulator plus the
+	// touched-vertex list that sparsifies it, and a member decode buffer.
+	dec     []uint32
+	touched []graph.Vertex
+	members []graph.Vertex
+}
+
+// session is one greedy selection in flight: which local samples the
+// chosen seeds have covered so far.
+type session struct {
+	seq     uint64
+	covered rrr.Bitset
+}
+
+// NewShard assembles a query-ready shard. idx may be nil, in which case
+// the incidence index is rebuilt with p workers.
+func NewShard(meta rrr.SnapshotMeta, col *rrr.CodedCollection, idx *rrr.Index, shardIdx, shardCount int, epoch uint64, p int) (*Shard, error) {
+	if col == nil {
+		return nil, fmt.Errorf("cluster: shard needs a sample collection")
+	}
+	if shardCount < 1 || shardIdx < 0 || shardIdx >= shardCount {
+		return nil, fmt.Errorf("cluster: shard index %d out of [0, %d)", shardIdx, shardCount)
+	}
+	if idx == nil {
+		idx = rrr.BuildIndexCoded(col, p)
+	}
+	return &Shard{
+		Meta: meta, Col: col, Idx: idx,
+		ShardIdx: shardIdx, ShardCount: shardCount, Epoch: epoch,
+		sessions: make(map[uint64]*session),
+		dec:      make([]uint32, col.NumVertices()),
+	}, nil
+}
+
+// Info reports the shard's identity and configuration.
+func (sh *Shard) Info() ShardInfo {
+	return ShardInfo{
+		ShardIdx:    sh.ShardIdx,
+		ShardCount:  sh.ShardCount,
+		Epoch:       sh.Epoch,
+		Samples:     sh.Col.Count(),
+		NumVertices: sh.Col.NumVertices(),
+		GraphDigest: sh.Meta.GraphDigest,
+		Model:       sh.Meta.Model,
+		Epsilon:     sh.Meta.Epsilon,
+		KMax:        sh.Meta.KMax,
+		Seed:        sh.Meta.Seed,
+		Theta:       sh.Meta.Theta,
+	}
+}
+
+// Start opens greedy session id (replacing any session already under that
+// id) and returns this shard's per-vertex sample membership counts — the
+// local summand of the fleet-merged coverage counter, read straight off
+// the index degree column as in dist.selectSeedsIndexed.
+func (sh *Shard) Start(id uint64) []int64 {
+	n := sh.Col.NumVertices()
+	counts := make([]int64, n)
+	for v := 0; v < n; v++ {
+		counts[v] = sh.Idx.Degree(graph.Vertex(v))
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.seq++
+	sh.sessions[id] = &session{seq: sh.seq, covered: rrr.NewBitset(sh.Col.Count())}
+	if len(sh.sessions) > maxSessions {
+		var oldID uint64
+		oldSeq := sh.seq + 1
+		for sid, s := range sh.sessions {
+			if s.seq < oldSeq {
+				oldSeq, oldID = s.seq, sid
+			}
+		}
+		delete(sh.sessions, oldID)
+	}
+	return counts
+}
+
+// Purge marks seed v's still-uncovered local samples covered and returns
+// the sparse per-vertex decrements those samples contribute — the local
+// summand of the round's merged decrement vector. Decrements are emitted
+// in first-touch order; the merge is a sum, so order never matters.
+func (sh *Shard) Purge(id uint64, v graph.Vertex) ([]DecPair, error) {
+	if int(v) >= sh.Col.NumVertices() {
+		return nil, fmt.Errorf("cluster: purge vertex %d out of range (n = %d)", v, sh.Col.NumVertices())
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ses := sh.sessions[id]
+	if ses == nil {
+		return nil, fmt.Errorf("cluster: unknown session %d (evicted or never started)", id)
+	}
+	sh.touched = sh.touched[:0]
+	for _, j := range sh.Idx.SamplesOf(v) {
+		if ses.covered.Get(int(j)) {
+			continue
+		}
+		ses.covered.Set(int(j))
+		sh.members = sh.Col.AppendMembers(int(j), sh.members[:0])
+		for _, u := range sh.members {
+			if sh.dec[u] == 0 {
+				sh.touched = append(sh.touched, u)
+			}
+			sh.dec[u]++
+		}
+	}
+	pairs := make([]DecPair, len(sh.touched))
+	for i, u := range sh.touched {
+		pairs[i] = DecPair{V: u, Dec: sh.dec[u]}
+		sh.dec[u] = 0
+	}
+	return pairs, nil
+}
+
+// End closes session id; unknown ids are a no-op (End is best-effort
+// cleanup on the router side).
+func (sh *Shard) End(id uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.sessions, id)
+}
+
+// Sessions reports the open session count (observability and tests).
+func (sh *Shard) Sessions() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.sessions)
+}
+
+// handle executes one decoded wire request and encodes the reply; it is
+// the single dispatch point both transports (ServeComm and the HTTP
+// handler) call into.
+func (sh *Shard) handle(req request) []byte {
+	switch req.op {
+	case opInfo:
+		return encodeInfoResp(sh.Info())
+	case opStart:
+		return encodeCountsResp(sh.Start(req.session))
+	case opPurge:
+		pairs, err := sh.Purge(req.session, req.vertex)
+		if err != nil {
+			return encodeErrorResp(err.Error())
+		}
+		return encodeDecsResp(pairs)
+	case opEnd:
+		sh.End(req.session)
+		return encodeAckResp()
+	default:
+		return encodeErrorResp(fmt.Sprintf("cluster: unknown op %d", req.op))
+	}
+}

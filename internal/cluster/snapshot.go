@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"influmax/internal/rrr"
+)
+
+// Shard snapshots wrap the standard v3 sketch snapshot (rrr.WriteSnapshot:
+// CRC-guarded, bounded-alloc reader) in a 24-byte shard header carrying
+// what SnapshotMeta cannot: the shard's place in the fleet partition and
+// its mutation epoch. The payload after the header is byte-for-byte a
+// normal snapshot, so all the format's guarantees (and its reader
+// hardening) carry over. The same bytes travel over GET /v1/snapshot for
+// peer bootstrap — net/http chunks the stream.
+
+// shardMagic opens a shard snapshot; the trailing byte is the header
+// version.
+var shardMagic = [8]byte{'I', 'M', 'X', 'S', 'H', 'R', 'D', 1}
+
+// WriteShardSnapshot writes sh (header + v3 snapshot) to w.
+func WriteShardSnapshot(w io.Writer, sh *Shard) error {
+	var hdr [24]byte
+	copy(hdr[:8], shardMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(sh.ShardIdx))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(sh.ShardCount))
+	binary.LittleEndian.PutUint64(hdr[16:], sh.Epoch)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	return rrr.WriteSnapshot(w, sh.Meta, sh.Col, sh.Idx, nil)
+}
+
+// ReadShardSnapshot reads a shard snapshot from r. maxBytes bounds the
+// inner snapshot's payload claims (<= 0 uses rrr.DefaultMaxSnapshotBytes);
+// p is the worker count for an index rebuild if the snapshot carries none.
+func ReadShardSnapshot(r io.Reader, maxBytes int64, p int) (*Shard, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("cluster: reading shard header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != shardMagic {
+		return nil, fmt.Errorf("cluster: not a shard snapshot (bad magic)")
+	}
+	shardIdx := int(binary.LittleEndian.Uint32(hdr[8:]))
+	shardCount := int(binary.LittleEndian.Uint32(hdr[12:]))
+	epoch := binary.LittleEndian.Uint64(hdr[16:])
+	meta, col, idx, deltas, err := rrr.ReadSnapshot(r, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(deltas) > 0 {
+		return nil, fmt.Errorf("cluster: shard snapshot carries a delta log; shards serve static sketches")
+	}
+	return NewShard(meta, col, idx, shardIdx, shardCount, epoch, p)
+}
+
+// SaveShardSnapshotFile persists sh at path atomically (temp + rename),
+// mirroring rrr.SaveSnapshotFile.
+func SaveShardSnapshotFile(path string, sh *Shard) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	bw := bufio.NewWriterSize(f, 64<<10)
+	err = WriteShardSnapshot(bw, sh)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}
+
+// LoadShardSnapshotFile reads a shard snapshot from path.
+func LoadShardSnapshotFile(path string, maxBytes int64, p int) (*Shard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadShardSnapshot(bufio.NewReaderSize(f, 64<<10), maxBytes, p)
+}
+
+// FetchShardSnapshot bootstraps a shard from a peer replica: it streams
+// GET <base>/v1/snapshot (chunked by net/http) through the bounded-alloc
+// snapshot reader. client may be nil for http.DefaultClient; set a
+// Timeout on it to bound the transfer.
+func FetchShardSnapshot(base string, client *http.Client, maxBytes int64, p int) (*Shard, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(base + "/v1/snapshot")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching shard snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: peer %s answered %s: %s", base, resp.Status, body)
+	}
+	return ReadShardSnapshot(bufio.NewReaderSize(resp.Body, 64<<10), maxBytes, p)
+}

@@ -51,6 +51,13 @@ type Options struct {
 	Store imm.StoreKind
 	// L is the confidence exponent (0 means 1).
 	L float64
+	// KeepStore retains this rank's sample shard on the Result after the
+	// run: Coded holds the rank's slice of the theta samples (transcoded
+	// into the byte-coded representation if the run was flat) and Index its
+	// inverted incidence. This is how shard-serving tooling
+	// (internal/cluster.BuildShards) extracts a per-rank shard instead of
+	// letting the stores die with the run.
+	KeepStore bool
 }
 
 // Result reports a distributed run; all ranks return identical seed sets.
@@ -97,6 +104,11 @@ type Result struct {
 	// returned it together with a RankFailedError, and Seeds holds only
 	// the seeds selected before the failure.
 	FailedRank int
+	// Coded and Index are this rank's retained sample shard (byte-coded)
+	// and its inverted incidence, populated only under Options.KeepStore on
+	// a clean run.
+	Coded *rrr.CodedCollection
+	Index *rrr.Index
 }
 
 // state carries the per-rank machinery across phases.
@@ -262,6 +274,22 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 	})
 	if phaseErr != nil {
 		return degraded(phaseErr)
+	}
+
+	// KeepStore: hand the rank's shard to the caller instead of letting it
+	// die with the run. A flat run is transcoded into the byte-coded store
+	// under the identity labeling first — the representation shard
+	// snapshots and transfers speak (the index is labeling-invariant, so
+	// it carries over untouched).
+	if opt.KeepStore {
+		if st.coded == nil {
+			startK := time.Now()
+			st.coded = rrr.FromCollection(st.col, nil)
+			st.col = nil
+			res.Phases.Add(trace.Other, time.Since(startK))
+		}
+		res.Coded = st.coded
+		res.Index = idx
 	}
 
 	finish()

@@ -104,7 +104,10 @@ type deltaRequest struct {
 	Ops []deltaOpRequest `json:"ops"`
 }
 
-// deltaResponse reports one applied batch.
+// deltaResponse reports one applied batch. Under sustained write load
+// several queued client batches may be folded into one repair pass
+// (coalescing); Coalesced then reports how many batches the pass carried,
+// and the counters describe the merged batch, not just this client's ops.
 type deltaResponse struct {
 	Epoch              uint64 `json:"epoch"`
 	Applied            int    `json:"applied"`
@@ -112,11 +115,32 @@ type deltaResponse struct {
 	SamplesInvalidated int64  `json:"samplesInvalidated"`
 	SamplesExtended    int64  `json:"samplesExtended"`
 	Theta              int64  `json:"theta"`
+	Coalesced          int    `json:"coalesced,omitempty"`
+}
+
+// pendingDelta is one decoded mutation batch queued for the repair pass,
+// and the channel its handler waits on.
+type pendingDelta struct {
+	d    graph.Delta
+	done chan deltaOutcome
+}
+
+type deltaOutcome struct {
+	resp deltaResponse
+	err  error
 }
 
 // handleDelta applies one mutation batch: decode, validate-or-400
 // (rejected batches leave graph and sketch untouched), repair the sketch,
 // publish the new serving view, report the repair counters.
+//
+// Batches are coalesced under load: the decoded delta is queued, then
+// every handler races for the mutation lock and the winner drains the
+// whole queue — batches that piled up while a repair was in flight are
+// concatenated in arrival order and folded in with ONE repair pass (one
+// epoch, one reweight, one publish), which is what keeps repair cost
+// amortized when writers outpace the repair rate. The losers find their
+// batch already applied and just report it.
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	if !s.cfg.Dynamic {
 		s.writeError(w, http.StatusBadRequest,
@@ -159,28 +183,99 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		d[i].W = op.W
 	}
 
+	pd := &pendingDelta{d: d, done: make(chan deltaOutcome, 1)}
+	s.deltaMu.Lock()
+	s.deltaPending = append(s.deltaPending, pd)
+	s.deltaMu.Unlock()
+
+	// Race for the mutation lock. By the time this acquisition succeeds,
+	// pd has been drained — by us or by whichever handler held the lock
+	// while we queued — so the receive below never blocks on an idle
+	// server.
 	s.dynMu.Lock()
-	res, err := s.dyn.ApplyDelta(d)
-	if err != nil {
-		s.dynMu.Unlock()
+	s.drainDeltasLocked()
+	s.dynMu.Unlock()
+
+	out := <-pd.done
+	if out.err != nil {
 		var de *graph.DeltaError
-		if errors.As(err, &de) {
-			s.writeError(w, http.StatusBadRequest, "%v", err)
+		if errors.As(out.err, &de) {
+			s.writeError(w, http.StatusBadRequest, "%v", out.err)
 		} else {
-			s.writeError(w, http.StatusInternalServerError, "applying delta: %v", err)
+			s.writeError(w, http.StatusInternalServerError, "applying delta: %v", out.err)
 		}
 		return
 	}
-	s.publishDynamicLocked()
-	s.dynMu.Unlock()
-	s.mDeltaBatches.Inc()
+	writeJSON(w, http.StatusOK, out.resp)
+}
 
-	writeJSON(w, http.StatusOK, deltaResponse{
+// drainDeltasLocked folds every queued batch into the sketch. A multi-
+// batch drain is concatenated into one merged batch and repaired in a
+// single pass; if the merged batch fails validation (one client's bad op
+// must not poison the others), it falls back to applying each batch
+// individually so every client gets its own verdict. Caller holds dynMu.
+func (s *Server) drainDeltasLocked() {
+	for {
+		s.deltaMu.Lock()
+		batch := s.deltaPending
+		s.deltaPending = nil
+		s.deltaMu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		if len(batch) == 1 {
+			s.applyOneLocked(batch[0])
+			continue
+		}
+		total := 0
+		for _, pd := range batch {
+			total += len(pd.d)
+		}
+		merged := make(graph.Delta, 0, total)
+		for _, pd := range batch {
+			merged = append(merged, pd.d...)
+		}
+		res, err := s.dyn.ApplyDelta(merged)
+		if err != nil {
+			for _, pd := range batch {
+				s.applyOneLocked(pd)
+			}
+			continue
+		}
+		s.publishDynamicLocked()
+		s.mDeltaBatches.Inc()
+		s.mCoalesced.Add(int64(len(batch) - 1))
+		resp := deltaResponse{
+			Epoch:              res.Epoch,
+			Applied:            res.Ops,
+			Candidates:         res.Candidates,
+			SamplesInvalidated: res.SamplesInvalidated,
+			SamplesExtended:    res.SamplesExtended,
+			Theta:              s.dyn.Theta(),
+			Coalesced:          len(batch),
+		}
+		for _, pd := range batch {
+			pd.done <- deltaOutcome{resp: resp}
+		}
+	}
+}
+
+// applyOneLocked applies a single queued batch and delivers its outcome.
+// Caller holds dynMu.
+func (s *Server) applyOneLocked(pd *pendingDelta) {
+	res, err := s.dyn.ApplyDelta(pd.d)
+	if err != nil {
+		pd.done <- deltaOutcome{err: err}
+		return
+	}
+	s.publishDynamicLocked()
+	s.mDeltaBatches.Inc()
+	pd.done <- deltaOutcome{resp: deltaResponse{
 		Epoch:              res.Epoch,
 		Applied:            res.Ops,
 		Candidates:         res.Candidates,
 		SamplesInvalidated: res.SamplesInvalidated,
 		SamplesExtended:    res.SamplesExtended,
 		Theta:              s.dyn.Theta(),
-	})
+	}}
 }

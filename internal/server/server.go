@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"influmax/internal/cluster"
 	"influmax/internal/diffuse"
 	"influmax/internal/graph"
 	"influmax/internal/imm"
@@ -94,6 +95,15 @@ type Config struct {
 	// MaxDeltaOps bounds the edge ops accepted in one delta batch (<= 0
 	// defaults to 4096).
 	MaxDeltaOps int
+	// ClusterShard, when non-nil, runs this server as one shard replica of
+	// a router-fronted fleet (internal/cluster): the shard API is mounted
+	// (POST /v1/shard/op, GET /v1/shard/info, GET /v1/snapshot for peer
+	// bootstrap) and POST /v1/seeds is rejected with a pointer to the
+	// router — a shard holds a slice of the theta samples, so answering
+	// seed queries locally would be silently wrong. The shard's graph
+	// digest must match Graph; Dynamic mode and shard mode are mutually
+	// exclusive.
+	ClusterShard *cluster.Shard
 }
 
 // withDefaults resolves zero values.
@@ -150,9 +160,15 @@ type Server struct {
 	dyn   *imm.DynamicSketch
 	dynSk atomic.Pointer[Sketch]
 
-	mQueries, mRejected, mTimeouts, mErrors, mBuilds, mDeltaBatches *metrics.Counter
-	mInflight, mSketches                                            *metrics.Gauge
-	mLatency                                                        *metrics.Histogram
+	// Delta coalescing: handlers enqueue decoded batches under deltaMu,
+	// then race for dynMu; whoever wins drains the whole queue in one
+	// repair pass (see drainDeltasLocked).
+	deltaMu      sync.Mutex
+	deltaPending []*pendingDelta
+
+	mQueries, mRejected, mTimeouts, mErrors, mBuilds, mDeltaBatches, mCoalesced *metrics.Counter
+	mInflight, mSketches, mQueueDepth                                           *metrics.Gauge
+	mLatency                                                                    *metrics.Histogram
 
 	// testQueryHook, when set, runs inside the seeds handler after pool
 	// admission — the seam load and drain tests use to hold a query in
@@ -190,17 +206,28 @@ func New(cfg Config) (*Server, error) {
 		running:       make(chan struct{}, cfg.MaxConcurrent),
 		mQueries:      reg.Counter("server/queries"),
 		mDeltaBatches: reg.Counter("server/delta-batches"),
+		mCoalesced:    reg.Counter("server/delta-coalesced"),
 		mRejected:     reg.Counter("server/rejected"),
 		mTimeouts:     reg.Counter("server/timeouts"),
 		mErrors:       reg.Counter("server/errors"),
 		mBuilds:       reg.Counter("server/sketch-builds"),
 		mInflight:     reg.Gauge("server/inflight"),
 		mSketches:     reg.Gauge("server/sketches"),
+		mQueueDepth:   reg.Gauge("server/queue-depth"),
 		mLatency:      reg.Histogram("server/query-us"),
 	}
 	if cfg.Sketch != nil && cfg.Sketch.Key.GraphDigest != s.digest {
 		return nil, fmt.Errorf("server: provided sketch is for graph %016x, loaded graph is %016x",
 			cfg.Sketch.Key.GraphDigest, s.digest)
+	}
+	if sh := cfg.ClusterShard; sh != nil {
+		if cfg.Dynamic {
+			return nil, errors.New("server: shard mode and dynamic mode are mutually exclusive (shards serve static sketches)")
+		}
+		if sh.Meta.GraphDigest != s.digest {
+			return nil, fmt.Errorf("server: shard was sampled from graph %016x, loaded graph is %016x",
+				sh.Meta.GraphDigest, s.digest)
+		}
 	}
 	if cfg.Dynamic {
 		if err := s.initDynamic(); err != nil {
@@ -218,6 +245,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/graph/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	if sh := cfg.ClusterShard; sh != nil {
+		s.mux.HandleFunc("POST "+cluster.ShardOpPath, sh.ServeOp)
+		s.mux.HandleFunc("GET /v1/shard/info", sh.ServeInfo)
+		s.mux.HandleFunc("GET /v1/snapshot", sh.ServeSnapshot)
+	}
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -352,17 +384,27 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		s.writeBackoff(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	if sh := s.cfg.ClusterShard; sh != nil {
+		s.writeError(w, http.StatusBadRequest,
+			"this replica serves shard %d of %d; POST /v1/seeds to the cluster router instead",
+			sh.ShardIdx, sh.ShardCount)
+		return
+	}
 	// Admission: bounded queue depth. Everything admitted past here is
-	// counted until the handler returns, so Shutdown can drain.
-	if s.admitted.Add(1) > s.admitLimit {
-		s.admitted.Add(-1)
+	// counted until the handler returns, so Shutdown can drain. The
+	// queue-depth gauge tracks admitted (running + waiting) so saturation
+	// is visible in /v1/metrics before 429s start.
+	if adm := s.admitted.Add(1); adm > s.admitLimit {
+		s.mQueueDepth.Set(s.admitted.Add(-1))
 		s.mRejected.Inc()
 		s.writeBackoff(w, http.StatusTooManyRequests,
 			"saturated: %d queries admitted (limit %d running + %d queued)",
 			s.admitLimit, s.cfg.MaxConcurrent, s.cfg.MaxQueue)
 		return
+	} else {
+		s.mQueueDepth.Set(adm)
 	}
-	defer s.admitted.Add(-1)
+	defer func() { s.mQueueDepth.Set(s.admitted.Add(-1)) }()
 
 	var req seedsRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
