@@ -40,6 +40,9 @@ func main() {
 		kernelStr   = flag.String("kernel", "fused", "sampling kernel: fused (batched CSR frontier) or scalar (per-sample reverse BFS; byte-identical results, -leapfrog always uses scalar)")
 		storeStr    = flag.String("store", "flat", "RRR store for the final selection: flat (uint32 arena) or coded (byte-coded, ~3x smaller; same seeds)")
 		verify      = flag.Int("verify", 0, "if > 0, evaluate the seed set with this many Monte Carlo cascades")
+		audience    = flag.String("audience", "", "comma-separated vertex ids: maximize influence over this audience only (targeted query mode)")
+		budget      = flag.Float64("budget", 0, "total budget for cost-aware selection with unit costs (budgeted query mode; selection may stop before -k seeds)")
+		blocked     = flag.String("blocked", "", "comma-separated vertex ids a rival already holds: excluded and their coverage pre-purged (competitive query mode)")
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout (machine-readable)")
 		metricsJSON = flag.String("metrics-json", "", "write a structured RunReport (JSON, schema 1) to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -106,6 +109,16 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("graph: %d vertices, %d edges, avg degree %.2f, max degree %d\n",
 			st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree)
+	}
+
+	if *audience != "" || *budget > 0 || *blocked != "" {
+		// Query-diversity mode: build a resident sketch and run the general
+		// selection shapes of DESIGN.md §17 over it.
+		if err := runQueryMode(g, st, model, sched, kernel, store, reg,
+			*k, *eps, *seed, *workers, *audience, *budget, *blocked, *verify, *jsonOut); err != nil {
+			fatal("%v", err)
+		}
+		return
 	}
 
 	opt := influmax.Options{K: *k, Epsilon: *eps, Model: model, Workers: *workers, Seed: *seed, Schedule: sched, Store: store, Kernel: kernel}
@@ -229,6 +242,118 @@ type jsonResult struct {
 	FlatStoreBytes   int64             `json:"flatStoreBytes,omitempty"`
 	TotalSeconds     float64           `json:"totalSeconds"`
 	Verified         *verifiedSpread   `json:"verified,omitempty"`
+	// Query-diversity extras (present only in -audience/-budget/-blocked
+	// mode).
+	Gains       []int64 `json:"gains,omitempty"`
+	Covered     int64   `json:"covered,omitempty"`
+	Eligible    int64   `json:"eligible,omitempty"`
+	SpentBudget float64 `json:"spentBudget,omitempty"`
+}
+
+// parseVertexList parses a comma-separated vertex-id list ("" = empty).
+func parseVertexList(s string, n int) ([]influmax.Vertex, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []influmax.Vertex
+	for _, part := range splitComma(s) {
+		var v uint64
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil || int64(v) >= int64(n) {
+			return nil, fmt.Errorf("bad vertex id %q (want 0 <= id < %d)", part, n)
+		}
+		out = append(out, influmax.Vertex(v))
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				parts = append(parts, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return parts
+}
+
+// runQueryMode builds a resident sketch and runs the budgeted / targeted /
+// blocked selection shapes over it, then reports like a normal run (the
+// estimated spread is the RIS estimate over the sketch's samples).
+func runQueryMode(g *influmax.Graph, st influmax.GraphStats, model influmax.Model,
+	sched influmax.Schedule, kernel influmax.Kernel, store influmax.StoreKind,
+	reg *influmax.MetricsRegistry,
+	k int, eps float64, seed uint64, workers int,
+	audience string, budget float64, blocked string, verify int, jsonOut bool) error {
+	aud, err := parseVertexList(audience, g.NumVertices())
+	if err != nil {
+		return fmt.Errorf("-audience: %w", err)
+	}
+	blk, err := parseVertexList(blocked, g.NumVertices())
+	if err != nil {
+		return fmt.Errorf("-blocked: %w", err)
+	}
+	key := influmax.SketchKey{GraphDigest: g.Digest(), Model: model, Epsilon: eps, KMax: k, Seed: seed}
+	sk, err := influmax.BuildSketch(g, key, workers, sched, kernel, store, reg)
+	if err != nil {
+		return err
+	}
+	q := influmax.SketchQuery{K: k, Budget: budget, Audience: aud, Blocked: blk}
+	qr, err := influmax.QuerySketch(sk, q, workers)
+	if err != nil {
+		return err
+	}
+	theta := sk.Theta
+	coverage := 0.0
+	if theta > 0 {
+		coverage = float64(qr.Covered) / float64(theta)
+	}
+	estimated := coverage * float64(g.NumVertices())
+
+	var verified *verifiedSpread
+	if verify > 0 && len(qr.Seeds) > 0 {
+		mean, se := influmax.Spread(g, model, qr.Seeds, verify, workers, seed^0xe7a1)
+		verified = &verifiedSpread{Mean: mean, StdErr: se, Trials: verify}
+	}
+
+	if jsonOut {
+		out := jsonResult{
+			Graph: jsonGraph{
+				Vertices: st.Vertices, Edges: st.Edges,
+				AvgDegree: st.AvgDegree, MaxDegree: st.MaxDegree,
+			},
+			Model: model.String(), K: k, Epsilon: eps, Workers: workers,
+			Seeds: qr.Seeds, Theta: theta, SamplesGenerated: sk.Col.Count(),
+			EstimatedSpread: estimated, CoverageFraction: coverage,
+			Store: sk.Store().String(), StoreBytes: sk.Col.Bytes(),
+			Gains: qr.Gains, Covered: qr.Covered, Eligible: qr.Eligible,
+			SpentBudget: qr.SpentBudget, Verified: verified,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("theta: %d; eligible samples: %d\n", theta, qr.Eligible)
+	if len(aud) > 0 {
+		fmt.Printf("audience: %d vertices (targeted mode)\n", len(aud))
+	}
+	if len(blk) > 0 {
+		fmt.Printf("blocked: %v (competitive mode)\n", blk)
+	}
+	if budget > 0 {
+		fmt.Printf("budget: %g, spent: %g (unit costs)\n", budget, qr.SpentBudget)
+	}
+	fmt.Printf("estimated spread: %.1f vertices (coverage %.4f)\n", estimated, coverage)
+	fmt.Printf("seeds (selection order): %v\n", qr.Seeds)
+	fmt.Printf("gains (covered samples): %v\n", qr.Gains)
+	if verified != nil {
+		fmt.Printf("verified spread: %.1f ± %.1f (over %d cascades)\n",
+			verified.Mean, 2*verified.StdErr, verified.Trials)
+	}
+	return nil
 }
 
 // loadGraph resolves the input source and assigns weights for generated

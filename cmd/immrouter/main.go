@@ -15,7 +15,13 @@
 // failedShards. Failed shards are re-probed on later queries and rejoin
 // once they answer with the same identity (e.g. after a warm restart from
 // their shard snapshot). {"k":N,"stream":true} streams one NDJSON line per
-// seed as the rounds complete, then a summary line. GET /healthz reports
+// seed as the rounds complete, then a summary line. The request may also
+// carry the query-diversity fields of DESIGN.md §17 — costs/budget
+// (cost-aware greedy), audience (targeted influence; needs header-v2
+// shard snapshots or fresh builds) and blocked (competitive selection) —
+// and POST /v1/spread estimates a caller-supplied seed set's influence
+// across the fleet; both routed byte-identically to a single process
+// holding all theta samples. GET /healthz reports
 // ok or degraded with the live shard count; GET /v1/metrics exposes the
 // router counters. SIGINT/SIGTERM drains in-flight queries (bounded by
 // -drain-timeout) and, with -metrics-json, writes a RunReport before exit.

@@ -7,8 +7,12 @@
 //	immserve -dataset soc-LiveJournal -scale 0.01 -k-max 100 -eps 0.5 \
 //	    -snapshot lj.snap -addr 127.0.0.1:8080
 //
-// Endpoints: POST /v1/seeds ({"k": 10}), GET /healthz, GET /v1/metrics,
-// and /debug/pprof/ with -pprof. With -dynamic, POST /v1/graph/delta
+// Endpoints: POST /v1/seeds ({"k": 10}, optionally with costs/budget/
+// audience/blocked for the query-diversity modes of DESIGN.md §17), POST
+// /v1/spread ({"seeds": [...]}; seed-set spread estimation), GET /healthz,
+// GET /v1/metrics, and /debug/pprof/ with -pprof. The -audience/-budget/
+// -blocked flags set fleet-wide defaults for requests that leave those
+// fields absent. With -dynamic, POST /v1/graph/delta
 // accepts edge mutation batches ({"ops":[{"op":"insert","src":0,"dst":1,
 // "w":0.2}]}) and the sketch is maintained incrementally; on shutdown the
 // mutated state (samples + replayable delta log) is persisted back to
@@ -60,6 +64,9 @@ func main() {
 		shardCount   = flag.Int("shard-count", 0, "cluster shard mode: fleet width; 0 disables shard mode")
 		shardFrom    = flag.String("shard-from", "", "cluster shard mode: peer base URL to bootstrap the shard snapshot from")
 		policyStr    = flag.String("weight-policy", "explicit", "dynamic mode: weight re-derivation after a mutation batch: explicit or wc")
+		audience     = flag.String("audience", "", "comma-separated vertex ids: default audience for /v1/seeds requests that do not name one (targeted query mode)")
+		budget       = flag.Float64("budget", 0, "default total budget with unit costs for /v1/seeds requests that do not name one (budgeted query mode)")
+		blocked      = flag.String("blocked", "", "comma-separated vertex ids: default rival seed set for /v1/seeds requests that do not name one (competitive query mode)")
 		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -90,6 +97,14 @@ func main() {
 	}
 	if model == influmax.LT {
 		g.NormalizeLT()
+	}
+	defAudience, err := parseVertexList(*audience, g.NumVertices())
+	if err != nil {
+		fatal("-audience: %v", err)
+	}
+	defBlocked, err := parseVertexList(*blocked, g.NumVertices())
+	if err != nil {
+		fatal("-blocked: %v", err)
 	}
 	st := g.ComputeStats()
 	fmt.Fprintf(os.Stderr, "immserve: graph: %d vertices, %d edges, avg degree %.2f\n",
@@ -134,6 +149,7 @@ func main() {
 		Workers: *workers, Schedule: sched, Kernel: kernel, Store: store, MaxConcurrent: *concurrency, MaxQueue: *queue,
 		QueryTimeout: *timeout, Metrics: reg, EnablePprof: *pprofOn,
 		Sketch: sketch, Dynamic: *dynamic, WeightPolicy: policy,
+		DefaultBudget: *budget, DefaultAudience: defAudience, DefaultBlocked: defBlocked,
 		ClusterShard: shard,
 	})
 	if err != nil {
@@ -290,6 +306,31 @@ func prepareSketch(g *influmax.Graph, key influmax.SketchKey, path string, worke
 		fmt.Fprintf(os.Stderr, "immserve: snapshot written to %s\n", path)
 	}
 	return s, nil
+}
+
+// parseVertexList parses a comma-separated vertex-id list ("" = empty),
+// mirroring cmd/imm.
+func parseVertexList(s string, n int) ([]influmax.Vertex, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []influmax.Vertex
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i != len(s) && s[i] != ',' {
+			continue
+		}
+		if i > start {
+			part := s[start:i]
+			var v uint64
+			if _, err := fmt.Sscanf(part, "%d", &v); err != nil || int64(v) >= int64(n) {
+				return nil, fmt.Errorf("bad vertex id %q (want 0 <= id < %d)", part, n)
+			}
+			out = append(out, influmax.Vertex(v))
+		}
+		start = i + 1
+	}
+	return out, nil
 }
 
 // loadGraph resolves the input source, mirroring cmd/imm.

@@ -1,0 +1,22 @@
+package main
+
+import "os"
+
+// Example pins the full deterministic output of the queries walkthrough:
+// the budgeted selection trades the expensive plain winner for cheaper
+// vertices, the targeted selection reranks by audience-rooted samples
+// only, and the competitive selection reproduces the plain tail once the
+// rival holds the top two seeds.
+func Example() {
+	if err := run(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// sketch: 1996 samples over 833 vertices
+	// plain top-5:      [808 801 766 771 710] (covers 1034 samples)
+	// budget 4:         [771 801 777 789] (spent 4)
+	// targeted top-5:   [808 710 770 801 760] (960 of 1996 samples eligible)
+	// vs rival [808 801]: [766 771 710 777 789]
+	// spread(plain):    431.5 vertices (1034 samples covered)
+	// spread(audience): 220.8 audience members (960 samples eligible)
+}

@@ -466,6 +466,44 @@ func LoadSnapshot(path string, g *Graph, workers int, store StoreKind) (*Sketch,
 	return server.LoadSketch(path, g, workers, store, 0)
 }
 
+// Query-diversity surface (DESIGN.md §17): four selection shapes over one
+// resident sketch — plain top-k, budgeted (cost-aware lazy greedy under a
+// total budget), targeted (coverage restricted to an audience's samples),
+// and competitive (a rival's seeds excluded and pre-purged) — plus the
+// exposed CountAll spread estimator.
+type (
+	// SketchQuery is one query shape: K plus optional Costs/Budget,
+	// Audience and Blocked (all empty = plain top-k). See imm.Query.
+	SketchQuery = imm.Query
+	// SketchQueryResult carries the seeds, per-seed gains, covered and
+	// eligible sample counts, and spent budget.
+	SketchQueryResult = imm.QueryResult
+)
+
+// QuerySketch runs q over a resident sketch with workers threads. A plain
+// q reproduces the classic top-k selection byte-identically; see
+// SketchQuery for the budgeted/targeted/blocked shapes.
+func QuerySketch(s *Sketch, q SketchQuery, workers int) (*SketchQueryResult, error) {
+	return s.QueryEx(q, workers)
+}
+
+// EstimateSpread exposes the RIS coverage estimator over a resident
+// sketch: covered counts the samples the seed set covers, eligible the
+// samples passing the audience filter (all of them when audience is
+// empty), and estimate is n * covered / theta — the standard RIS
+// influence estimate, restricted to expected audience members influenced
+// when an audience is given.
+func EstimateSpread(s *Sketch, seeds, audience []Vertex) (estimate float64, covered, eligible int64, err error) {
+	covered, eligible, err = s.Spread(seeds, audience)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if c := s.Col.Count(); c > 0 {
+		estimate = float64(covered) / float64(c) * float64(s.Col.NumVertices())
+	}
+	return estimate, covered, eligible, nil
+}
+
 // Dynamic-graph surface: edge mutations over an immutable CSR and
 // incremental RRR sketch maintenance (DESIGN.md §15). A dynamic server
 // (ServeConfig.Dynamic) exposes these over POST /v1/graph/delta.
@@ -551,6 +589,12 @@ type (
 	// RouterSelectResult is one routed selection: seeds plus degradation
 	// and per-shard provenance.
 	RouterSelectResult = cluster.SelectResult
+	// RouterQuery is the routed query shape (the cluster face of
+	// SketchQuery); run it with SeedRouter.SelectQuery.
+	RouterQuery = cluster.RouterQuery
+	// RouterSpreadResult is one routed spread estimate
+	// (SeedRouter.Spread).
+	RouterSpreadResult = cluster.SpreadResult
 	// RouterServer is the HTTP front for a SeedRouter (POST /v1/seeds with
 	// optional NDJSON streaming, /healthz, /v1/metrics).
 	RouterServer = cluster.RouterServer

@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+
+	"influmax/internal/graph"
+)
+
+// Oracle-generic references for the sketch-space query modes (DESIGN.md
+// §17): an exhaustive greedy and a CELF-style lazy greedy over an
+// arbitrary spread oracle, with and without per-vertex costs. The
+// differential suite instantiates the oracle with exact RRR coverage
+// (pinning the sketch loops byte-for-byte) or Monte Carlo estimates; both
+// references share one tie-break discipline with the sketch loops:
+// gain-per-cost descending, exact gain descending, vertex id ascending.
+
+// SpreadOracle evaluates the (estimated) spread of a seed set. Callers may
+// mutate the slice between calls; the oracle must not retain it.
+type SpreadOracle func(seeds []graph.Vertex) float64
+
+// GreedyOracle is exhaustive greedy hill-climbing over an arbitrary
+// oracle: k rounds, each evaluating the marginal gain of every remaining
+// vertex (ties: lower vertex id). banned vertices are never candidates —
+// the competitive/blocked reference passes the rival's seeds here and
+// folds their coverage into the oracle.
+func GreedyOracle(n, k int, banned []graph.Vertex, oracle SpreadOracle) ([]graph.Vertex, []float64) {
+	chosen := make([]bool, n)
+	for _, b := range banned {
+		chosen[b] = true
+	}
+	seeds := make([]graph.Vertex, 0, k)
+	gains := make([]float64, 0, k)
+	prev := 0.0
+	cand := make([]graph.Vertex, 0, k+1)
+	for len(seeds) < k {
+		bestGain, bestV := 0.0, -1
+		for v := 0; v < n; v++ {
+			if chosen[v] {
+				continue
+			}
+			cand = append(cand[:0], seeds...)
+			cand = append(cand, graph.Vertex(v))
+			if gain := oracle(cand) - prev; bestV < 0 || gain > bestGain {
+				bestGain, bestV = gain, v
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		seeds = append(seeds, graph.Vertex(bestV))
+		gains = append(gains, bestGain)
+		chosen[bestV] = true
+		prev += bestGain
+	}
+	return seeds, gains
+}
+
+// budgetedBetter is the shared cost-benefit order: ratio desc, gain desc,
+// vertex asc — identical to the sketch loop's argmax, so an exact oracle
+// makes the references byte-comparable to it.
+func budgetedBetter(r1, g1 float64, v1 int, r2, g2 float64, v2 int) bool {
+	if r1 != r2 {
+		return r1 > r2
+	}
+	if g1 != g2 {
+		return g1 > g2
+	}
+	return v1 < v2
+}
+
+func checkBudget(n int, costs []float64, budget float64, k int) error {
+	if k < 1 || k > n {
+		return fmt.Errorf("baseline: k = %d out of [1, %d]", k, n)
+	}
+	if budget <= 0 {
+		return fmt.Errorf("baseline: budget = %v, want > 0", budget)
+	}
+	if len(costs) != n {
+		return fmt.Errorf("baseline: %d costs for %d vertices", len(costs), n)
+	}
+	for v, c := range costs {
+		if !(c > 0) {
+			return fmt.Errorf("baseline: cost of vertex %d is %v, want > 0", v, c)
+		}
+	}
+	return nil
+}
+
+// BudgetedGreedy is the exhaustive cost-benefit greedy: every round
+// re-evaluates each remaining affordable vertex and picks the best
+// marginal-gain-per-cost (budgetedBetter order), charging its cost against
+// the budget. Stops when k seeds are chosen or nothing affordable remains.
+func BudgetedGreedy(n int, costs []float64, budget float64, k int, oracle SpreadOracle) ([]graph.Vertex, []float64, error) {
+	if err := checkBudget(n, costs, budget, k); err != nil {
+		return nil, nil, err
+	}
+	chosen := make([]bool, n)
+	seeds := make([]graph.Vertex, 0, k)
+	gains := make([]float64, 0, k)
+	prev, spent := 0.0, 0.0
+	cand := make([]graph.Vertex, 0, k+1)
+	for len(seeds) < k {
+		bestR, bestG, bestV := 0.0, 0.0, -1
+		for v := 0; v < n; v++ {
+			if chosen[v] || spent+costs[v] > budget {
+				continue
+			}
+			cand = append(cand[:0], seeds...)
+			cand = append(cand, graph.Vertex(v))
+			g := oracle(cand) - prev
+			r := g / costs[v]
+			if bestV < 0 || budgetedBetter(r, g, v, bestR, bestG, bestV) {
+				bestR, bestG, bestV = r, g, v
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		seeds = append(seeds, graph.Vertex(bestV))
+		gains = append(gains, bestG)
+		chosen[bestV] = true
+		prev += bestG
+		spent += costs[bestV]
+	}
+	return seeds, gains, nil
+}
+
+// budgetedEntry is a lazily evaluated cost-benefit candidate.
+type budgetedEntry struct {
+	v     graph.Vertex
+	gain  float64
+	ratio float64
+	round int
+}
+
+type budgetedHeap []budgetedEntry
+
+func (h budgetedHeap) Len() int      { return len(h) }
+func (h budgetedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h budgetedHeap) Less(i, j int) bool {
+	return budgetedBetter(h[i].ratio, h[i].gain, int(h[i].v), h[j].ratio, h[j].gain, int(h[j].v))
+}
+func (h *budgetedHeap) Push(x any) { *h = append(*h, x.(budgetedEntry)) }
+func (h *budgetedHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// CELFBudgeted is the lazy cost-benefit greedy (Leskovec et al.'s CELF
+// with per-vertex costs): stale marginal gains only overestimate under
+// submodularity, so a candidate whose refreshed key stays on top is the
+// exact round argmax. Unaffordable candidates are dropped permanently —
+// the remaining budget never grows. Identical output to BudgetedGreedy
+// for any submodular oracle (the baseline suite pins this).
+func CELFBudgeted(n int, costs []float64, budget float64, k int, oracle SpreadOracle) ([]graph.Vertex, []float64, error) {
+	if err := checkBudget(n, costs, budget, k); err != nil {
+		return nil, nil, err
+	}
+	h := make(budgetedHeap, 0, n)
+	for v := 0; v < n; v++ {
+		if costs[v] > budget {
+			continue
+		}
+		g := oracle([]graph.Vertex{graph.Vertex(v)})
+		h = append(h, budgetedEntry{v: graph.Vertex(v), gain: g, ratio: g / costs[v], round: 0})
+	}
+	heap.Init(&h)
+	seeds := make([]graph.Vertex, 0, k)
+	gains := make([]float64, 0, k)
+	prev, spent := 0.0, 0.0
+	cand := make([]graph.Vertex, 0, k+1)
+	for len(seeds) < k && h.Len() > 0 {
+		top := heap.Pop(&h).(budgetedEntry)
+		if spent+costs[top.v] > budget {
+			continue // can never become affordable again
+		}
+		if top.round == len(seeds) {
+			seeds = append(seeds, top.v)
+			gains = append(gains, top.gain)
+			prev += top.gain
+			spent += costs[top.v]
+			continue
+		}
+		cand = append(cand[:0], seeds...)
+		cand = append(cand, top.v)
+		top.gain = oracle(cand) - prev
+		top.ratio = top.gain / costs[top.v]
+		top.round = len(seeds)
+		heap.Push(&h, top)
+	}
+	return seeds, gains, nil
+}

@@ -88,6 +88,11 @@ func BuildShards(g *graph.Graph, opt BuildOptions) ([]*Shard, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Re-derive the per-sample roots from the global sample ids: in
+		// PerSample mode a sample's root is its stream's first draw, so
+		// the column is a pure function of (seed, id, n) — it powers the
+		// audience-filtered ops and rides in shard snapshots (header v2).
+		sh.Roots = imm.RootsAt(opt.Seed, res.SampleIDs, g.NumVertices(), threads)
 		shards[r] = sh
 	}
 	return shards, nil

@@ -25,7 +25,14 @@ const (
 type Conn interface {
 	Info() (ShardInfo, error)
 	Start(session uint64) ([]int64, error)
+	// StartFiltered opens an audience-filtered session (targeted
+	// influence): counts run over audience-rooted samples only, and the
+	// eligible sample count comes back alongside.
+	StartFiltered(session uint64, audience []graph.Vertex) ([]int64, int64, error)
 	Purge(session uint64, v graph.Vertex) ([]DecPair, error)
+	// Spread is the stateless seed-set spread estimate over the shard's
+	// samples (audience optional; empty means unrestricted).
+	Spread(seeds, audience []graph.Vertex) (covered, eligible int64, err error)
 	End(session uint64) error
 	Close() error
 }
@@ -91,6 +98,22 @@ func (cc *CommConn) Start(session uint64) ([]int64, error) {
 		return nil, err
 	}
 	return decodeCountsResp(resp)
+}
+
+func (cc *CommConn) StartFiltered(session uint64, audience []graph.Vertex) ([]int64, int64, error) {
+	resp, err := cc.roundTrip(request{op: opStartFiltered, session: session, audience: audience})
+	if err != nil {
+		return nil, 0, err
+	}
+	return decodeFilteredCountsResp(resp)
+}
+
+func (cc *CommConn) Spread(seeds, audience []graph.Vertex) (int64, int64, error) {
+	resp, err := cc.roundTrip(request{op: opSpread, seeds: seeds, audience: audience})
+	if err != nil {
+		return 0, 0, err
+	}
+	return decodeSpreadResp(resp)
 }
 
 func (cc *CommConn) Purge(session uint64, v graph.Vertex) ([]DecPair, error) {

@@ -20,9 +20,12 @@ import (
 // request body, 200 with a binary protocol response body.
 const ShardOpPath = "/v1/shard/op"
 
-// maxOpBody bounds one shard-op request body (the largest request is 13
-// bytes; the slack is pure defensiveness).
-const maxOpBody = 1 << 10
+// maxOpBody bounds one shard-op request body. The session ops are a few
+// bytes, but the query-diversity ops (opStartFiltered, opSpread) carry
+// vertex lists — up to two audiences/seed sets of 4 bytes per vertex —
+// so the bound scales to graphs of a few million vertices while still
+// capping a hostile body.
+const maxOpBody = 1 << 25
 
 // ServeOp handles POST /v1/shard/op.
 func (sh *Shard) ServeOp(w http.ResponseWriter, r *http.Request) {
@@ -113,6 +116,22 @@ func (hc *HTTPConn) Start(session uint64) ([]int64, error) {
 		return nil, err
 	}
 	return decodeCountsResp(resp)
+}
+
+func (hc *HTTPConn) StartFiltered(session uint64, audience []graph.Vertex) ([]int64, int64, error) {
+	resp, err := hc.roundTrip(request{op: opStartFiltered, session: session, audience: audience})
+	if err != nil {
+		return nil, 0, err
+	}
+	return decodeFilteredCountsResp(resp)
+}
+
+func (hc *HTTPConn) Spread(seeds, audience []graph.Vertex) (int64, int64, error) {
+	resp, err := hc.roundTrip(request{op: opSpread, seeds: seeds, audience: audience})
+	if err != nil {
+		return 0, 0, err
+	}
+	return decodeSpreadResp(resp)
 }
 
 func (hc *HTTPConn) Purge(session uint64, v graph.Vertex) ([]DecPair, error) {

@@ -20,6 +20,15 @@ const (
 	opStart byte = 2 // session id -> dense per-vertex coverage counts
 	opPurge byte = 3 // session id + seed vertex -> sparse decrements
 	opEnd   byte = 4 // session id -> ack
+	// opStartFiltered opens an audience-filtered session (targeted
+	// influence, DESIGN.md §17): session id + audience vertex list ->
+	// dense counts over audience-rooted samples + the eligible sample
+	// count. Later opPurge calls on the session skip the filtered-out
+	// samples automatically.
+	opStartFiltered byte = 5
+	// opSpread is the stateless spread estimate: seed vertex list +
+	// optional audience list -> (covered, eligible) sample counts.
+	opSpread byte = 6
 )
 
 // Response status bytes.
@@ -52,15 +61,47 @@ type DecPair struct {
 	Dec uint32
 }
 
-// request is one decoded shard operation.
+// request is one decoded shard operation. seeds and audience are the
+// vertex-list payloads of the query-diversity ops (audience doubles as
+// the filter of opStartFiltered; an empty audience on opSpread means no
+// filter).
 type request struct {
-	op      byte
-	session uint64
-	vertex  graph.Vertex
+	op       byte
+	session  uint64
+	vertex   graph.Vertex
+	seeds    []graph.Vertex
+	audience []graph.Vertex
+}
+
+func appendVerts(buf []byte, vs []graph.Vertex) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vs)))
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// takeVerts decodes one length-prefixed vertex list, returning the rest of
+// the buffer. The claimed count is validated against the bytes actually
+// present before any allocation, so a hostile length cannot force one.
+func takeVerts(b []byte) ([]graph.Vertex, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("cluster: truncated vertex list")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < 4*n {
+		return nil, nil, fmt.Errorf("cluster: vertex list claims %d entries, carries %d bytes", n, len(b))
+	}
+	vs := make([]graph.Vertex, n)
+	for i := range vs {
+		vs[i] = graph.Vertex(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return vs, b[4*n:], nil
 }
 
 func encodeRequest(r request) []byte {
-	buf := make([]byte, 0, 13)
+	buf := make([]byte, 0, 13+4*(len(r.seeds)+len(r.audience))+8)
 	buf = append(buf, r.op)
 	switch r.op {
 	case opStart, opEnd:
@@ -68,6 +109,12 @@ func encodeRequest(r request) []byte {
 	case opPurge:
 		buf = binary.LittleEndian.AppendUint64(buf, r.session)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.vertex))
+	case opStartFiltered:
+		buf = binary.LittleEndian.AppendUint64(buf, r.session)
+		buf = appendVerts(buf, r.audience)
+	case opSpread:
+		buf = appendVerts(buf, r.seeds)
+		buf = appendVerts(buf, r.audience)
 	}
 	return buf
 }
@@ -94,6 +141,29 @@ func decodeRequest(b []byte) (request, error) {
 		}
 		r.session = binary.LittleEndian.Uint64(rest)
 		r.vertex = graph.Vertex(binary.LittleEndian.Uint32(rest[8:]))
+	case opStartFiltered:
+		if len(rest) < 8 {
+			return request{}, fmt.Errorf("cluster: filtered start wants a session id, got %d bytes", len(rest))
+		}
+		r.session = binary.LittleEndian.Uint64(rest)
+		var err error
+		if r.audience, rest, err = takeVerts(rest[8:]); err != nil {
+			return request{}, err
+		}
+		if len(rest) != 0 {
+			return request{}, fmt.Errorf("cluster: filtered start carries %d trailing bytes", len(rest))
+		}
+	case opSpread:
+		var err error
+		if r.seeds, rest, err = takeVerts(rest); err != nil {
+			return request{}, err
+		}
+		if r.audience, rest, err = takeVerts(rest); err != nil {
+			return request{}, err
+		}
+		if len(rest) != 0 {
+			return request{}, fmt.Errorf("cluster: spread request carries %d trailing bytes", len(rest))
+		}
 	default:
 		return request{}, fmt.Errorf("cluster: unknown op %d", r.op)
 	}
@@ -145,6 +215,29 @@ func encodeDecsResp(pairs []DecPair) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.V))
 		buf = binary.LittleEndian.AppendUint32(buf, p.Dec)
 	}
+	return buf
+}
+
+// encodeFilteredCountsResp answers opStartFiltered: the eligible
+// (audience-rooted) sample count, then the dense per-vertex counts over
+// exactly those samples.
+func encodeFilteredCountsResp(counts []int64, eligible int64) []byte {
+	buf := make([]byte, 0, 13+8*len(counts))
+	buf = append(buf, statusOK)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(eligible))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(counts)))
+	for _, c := range counts {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+	}
+	return buf
+}
+
+// encodeSpreadResp answers opSpread: covered and eligible sample counts.
+func encodeSpreadResp(covered, eligible int64) []byte {
+	buf := make([]byte, 0, 17)
+	buf = append(buf, statusOK)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(covered))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(eligible))
 	return buf
 }
 
@@ -235,6 +328,38 @@ func decodeDecsResp(b []byte) ([]DecPair, error) {
 		pairs[i].Dec = binary.LittleEndian.Uint32(body[8*i+4:])
 	}
 	return pairs, nil
+}
+
+func decodeFilteredCountsResp(b []byte) ([]int64, int64, error) {
+	body, err := checkResp(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(body) < 12 {
+		return nil, 0, fmt.Errorf("cluster: truncated filtered-counts response")
+	}
+	eligible := int64(binary.LittleEndian.Uint64(body))
+	n := int(binary.LittleEndian.Uint32(body[8:]))
+	body = body[12:]
+	if len(body) != 8*n {
+		return nil, 0, fmt.Errorf("cluster: filtered-counts response claims %d entries, carries %d bytes", n, len(body))
+	}
+	counts := make([]int64, n)
+	for i := range counts {
+		counts[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return counts, eligible, nil
+}
+
+func decodeSpreadResp(b []byte) (covered, eligible int64, err error) {
+	body, err := checkResp(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(body) != 16 {
+		return 0, 0, fmt.Errorf("cluster: spread response is %d bytes, want 16", len(body))
+	}
+	return int64(binary.LittleEndian.Uint64(body)), int64(binary.LittleEndian.Uint64(body[8:])), nil
 }
 
 func decodeAckResp(b []byte) error {

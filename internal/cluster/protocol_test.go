@@ -3,6 +3,8 @@ package cluster
 import (
 	"slices"
 	"testing"
+
+	"influmax/internal/graph"
 )
 
 func TestProtocolRequestRoundTrip(t *testing.T) {
@@ -19,7 +21,28 @@ func TestProtocolRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("op %d: %v", want.op, err)
 		}
-		if got != want {
+		if got.op != want.op || got.session != want.session || got.vertex != want.vertex {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestProtocolQueryRequestRoundTrip covers the query-diversity ops, whose
+// vertex-list payloads make the request struct incomparable with ==.
+func TestProtocolQueryRequestRoundTrip(t *testing.T) {
+	cases := []request{
+		{op: opStartFiltered, session: 3, audience: []graph.Vertex{}},
+		{op: opStartFiltered, session: 1<<64 - 1, audience: []graph.Vertex{0, 7, 1<<32 - 1}},
+		{op: opSpread, seeds: []graph.Vertex{5}, audience: []graph.Vertex{}},
+		{op: opSpread, seeds: []graph.Vertex{1, 2, 3}, audience: []graph.Vertex{9, 8}},
+	}
+	for _, want := range cases {
+		got, err := decodeRequest(encodeRequest(want))
+		if err != nil {
+			t.Fatalf("op %d: %v", want.op, err)
+		}
+		if got.op != want.op || got.session != want.session ||
+			!slices.Equal(got.seeds, want.seeds) || !slices.Equal(got.audience, want.audience) {
 			t.Fatalf("round trip: got %+v, want %+v", got, want)
 		}
 	}
@@ -32,7 +55,14 @@ func TestProtocolRejectsMalformedRequests(t *testing.T) {
 		{99},                     // unknown op
 		{opStart, 1, 2, 3},       // short session
 		{opPurge, 1, 2, 3, 4, 5}, // short purge
-		append(encodeRequest(request{op: opInfo}), 0xff), // trailing bytes
+		append(encodeRequest(request{op: opInfo}), 0xff),      // trailing bytes
+		{opStartFiltered, 1, 2, 3},                            // short session
+		{opStartFiltered, 1, 2, 3, 4, 5, 6, 7, 8},             // missing audience list
+		{opStartFiltered, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 0, 0}, // audience claims 9 entries, carries none
+		{opSpread},             // missing both lists
+		{opSpread, 1, 0, 0, 0}, // seed list claims 1 entry, carries none
+		{opSpread, 0, 0, 0, 0}, // missing audience list
+		append(encodeRequest(request{op: opSpread, seeds: []graph.Vertex{1}, audience: []graph.Vertex{2}}), 0xff), // trailing bytes
 	}
 	for i, b := range bad {
 		if _, err := decodeRequest(b); err == nil {
@@ -73,6 +103,22 @@ func TestProtocolResponseRoundTrips(t *testing.T) {
 		t.Fatalf("decs round trip: got %v, want %v", gotPairs, pairs)
 	}
 
+	fCounts, fEligible, err := decodeFilteredCountsResp(encodeFilteredCountsResp(counts, 321))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(fCounts, counts) || fEligible != 321 {
+		t.Fatalf("filtered counts round trip: got (%v, %d), want (%v, 321)", fCounts, fEligible, counts)
+	}
+
+	cov, elig, err := decodeSpreadResp(encodeSpreadResp(77, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 77 || elig != 99 {
+		t.Fatalf("spread round trip: got (%d, %d), want (77, 99)", cov, elig)
+	}
+
 	if err := decodeAckResp(encodeAckResp()); err != nil {
 		t.Fatal(err)
 	}
@@ -93,5 +139,11 @@ func TestProtocolRejectsTruncatedResponses(t *testing.T) {
 	}
 	if _, err := checkResp([]byte{statusFail, 200, 0}); err == nil {
 		t.Fatal("error envelope with over-claimed length accepted")
+	}
+	if _, _, err := decodeFilteredCountsResp(encodeFilteredCountsResp([]int64{1, 2}, 2)[:12]); err == nil {
+		t.Fatal("truncated filtered counts accepted")
+	}
+	if _, _, err := decodeSpreadResp(encodeSpreadResp(1, 2)[:9]); err == nil {
+		t.Fatal("truncated spread response accepted")
 	}
 }

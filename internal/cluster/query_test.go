@@ -1,0 +1,323 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"influmax/internal/cluster"
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+	"influmax/internal/mpi"
+)
+
+// refQuery answers q over the single-process sketch at the fleet
+// configuration — the byte-identity oracle for every routed query mode.
+func refQuery(t *testing.T, g *graph.Graph, opt cluster.BuildOptions, q imm.Query) *imm.QueryResult {
+	t.Helper()
+	_, coded, idx, err := imm.RunSketch(g, imm.Options{
+		K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := imm.RootsRange(opt.Seed, coded.Count(), g.NumVertices(), 2)
+	qr, err := imm.SelectQuerySketch(coded, idx, roots, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+func queryTestInputs(n int, refSeeds []graph.Vertex) (costs []float64, audience, blocked []graph.Vertex) {
+	costs = make([]float64, n)
+	for v := range costs {
+		costs[v] = float64(1 + (v*2654435761)%4)
+	}
+	for v := 0; v < n; v += 4 {
+		audience = append(audience, graph.Vertex(v))
+	}
+	blocked = refSeeds[:2]
+	return
+}
+
+// TestRouterQueryModesMatchSingleProcess pins every routed query mode
+// byte-identically against the single-process selection over the union of
+// the shards' samples, for 1 and 3 shards, and the routed spread estimate
+// against the exposed CoverageOf estimator.
+func TestRouterQueryModesMatchSingleProcess(t *testing.T) {
+	g := testGraph(13, 100, 700)
+	opt := cluster.BuildOptions{K: 8, Epsilon: 0.5, Model: diffuse.IC, Seed: 31, Workers: 2}
+	const k = 6
+	plainRef := refQuery(t, g, opt, imm.Query{K: k})
+	costs, audience, blocked := queryTestInputs(g.NumVertices(), plainRef.Seeds)
+
+	queries := map[string]imm.Query{
+		"plain":    {K: k},
+		"budgeted": {K: k, Costs: costs, Budget: 7},
+		"implicit": {K: k, Budget: 4}, // unit costs
+		"targeted": {K: k, Audience: audience},
+		"blocked":  {K: k, Blocked: blocked},
+		"combined": {K: k, Budget: 5, Audience: audience, Blocked: blocked},
+	}
+	refs := map[string]*imm.QueryResult{"plain": plainRef}
+	for name, q := range queries {
+		if name != "plain" {
+			refs[name] = refQuery(t, g, opt, q)
+		}
+	}
+
+	for _, s := range []int{1, 3} {
+		opt.Shards = s
+		shards, err := cluster.BuildShards(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet := startCommFleet(t, shards, nil, 2*time.Second)
+		rt, err := cluster.NewRouter(fleet.conns, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, q := range queries {
+			want := refs[name]
+			res, err := rt.SelectQuery(cluster.RouterQuery{
+				K: q.K, Costs: q.Costs, Budget: q.Budget, Audience: q.Audience, Blocked: q.Blocked,
+			}, nil)
+			if err != nil {
+				t.Fatalf("s=%d %s: %v", s, name, err)
+			}
+			if !slices.Equal(res.Seeds, want.Seeds) || !slices.Equal(res.Gains, want.Gains) {
+				t.Fatalf("s=%d %s: routed (%v, %v) != single-process (%v, %v)",
+					s, name, res.Seeds, res.Gains, want.Seeds, want.Gains)
+			}
+			if res.Eligible != want.Eligible || res.SpentBudget != want.SpentBudget {
+				t.Fatalf("s=%d %s: eligible/spent (%d, %v) != (%d, %v)",
+					s, name, res.Eligible, res.SpentBudget, want.Eligible, want.SpentBudget)
+			}
+			wantCov := float64(want.Covered) / float64(res.TotalSamples)
+			if res.CoverageFraction != wantCov {
+				t.Fatalf("s=%d %s: coverage %v != %v", s, name, res.CoverageFraction, wantCov)
+			}
+			if res.Degraded {
+				t.Fatalf("s=%d %s: clean fleet degraded", s, name)
+			}
+			for i, sh := range shards {
+				if open := sh.Sessions(); open != 0 {
+					t.Fatalf("s=%d %s: shard %d holds %d sessions after the query", s, name, i, open)
+				}
+			}
+		}
+
+		// Routed spread, with and without an audience, against CoverageOf
+		// over the single-process store.
+		_, coded, idx, err := imm.RunSketch(g, imm.Options{
+			K: opt.K, Epsilon: opt.Epsilon, Model: opt.Model, Seed: opt.Seed, Workers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots := imm.RootsRange(opt.Seed, coded.Count(), g.NumVertices(), 2)
+		for _, aud := range [][]graph.Vertex{nil, audience} {
+			wantCovered, wantEligible, err := imm.CoverageOf(coded.Count(), idx, roots, plainRef.Seeds, aud)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := rt.Spread(plainRef.Seeds, aud)
+			if err != nil {
+				t.Fatalf("s=%d spread: %v", s, err)
+			}
+			if sp.Covered != wantCovered || sp.Eligible != wantEligible {
+				t.Fatalf("s=%d spread aud=%v: (%d, %d) != (%d, %d)",
+					s, aud != nil, sp.Covered, sp.Eligible, wantCovered, wantEligible)
+			}
+			wantEst := float64(wantCovered) / float64(sp.TotalSamples) * float64(g.NumVertices())
+			if sp.EstimatedSpread != wantEst {
+				t.Fatalf("s=%d spread aud=%v: estimate %v != %v", s, aud != nil, sp.EstimatedSpread, wantEst)
+			}
+		}
+	}
+}
+
+// TestRouterQueryFailover runs a filtered budgeted query under a
+// deterministic kill plan: the query must finish degraded on the
+// survivors, and the whole scenario must reproduce exactly.
+func TestRouterQueryFailover(t *testing.T) {
+	g := testGraph(17, 90, 600)
+	opt := cluster.BuildOptions{K: 8, Epsilon: 0.5, Model: diffuse.IC, Seed: 41, Workers: 2, Shards: 4}
+	const netTimeout = 500 * time.Millisecond
+	var audience []graph.Vertex
+	for v := 0; v < g.NumVertices(); v += 2 {
+		audience = append(audience, graph.Vertex(v))
+	}
+	q := cluster.RouterQuery{K: 5, Budget: 5, Audience: audience}
+
+	run := func(t *testing.T) *cluster.SelectResult {
+		t.Helper()
+		shards, err := cluster.BuildShards(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans := make([]mpi.FaultPlan, 4)
+		plans[2] = mpi.FaultPlan{Seed: 1, Crashes: []mpi.RankCrash{{Rank: 3, AfterSends: 3}}}
+		fleet := startCommFleet(t, shards, plans, netTimeout)
+		rt, err := cluster.NewRouter(fleet.conns, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res, err := rt.SelectQuery(q, nil)
+		if err != nil {
+			t.Fatalf("degraded query must still answer: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*netTimeout {
+			t.Fatalf("query took %v with a %v net timeout", elapsed, netTimeout)
+		}
+		return res
+	}
+
+	res := run(t)
+	if !res.Degraded || !slices.Equal(res.FailedShards, []int{2}) {
+		t.Fatalf("want degraded with failedShards [2], got degraded=%v failed=%v", res.Degraded, res.FailedShards)
+	}
+	if len(res.Seeds) == 0 || res.SpentBudget > q.Budget {
+		t.Fatalf("degraded result malformed: seeds %v spent %v", res.Seeds, res.SpentBudget)
+	}
+	res2 := run(t)
+	if !slices.Equal(res2.Seeds, res.Seeds) || res2.Eligible != res.Eligible || res2.SpentBudget != res.SpentBudget {
+		t.Fatalf("failover not deterministic: %+v vs %+v", res, res2)
+	}
+}
+
+// TestRouterFilteredNeedsRoots: a shard without a root column (a v1
+// snapshot) refuses audience-filtered work with an in-band error — the
+// router aborts that query without marking the shard failed, and plain
+// queries keep serving the full fleet.
+func TestRouterFilteredNeedsRoots(t *testing.T) {
+	g := testGraph(19, 60, 400)
+	opt := cluster.BuildOptions{K: 5, Epsilon: 0.5, Model: diffuse.IC, Seed: 7, Workers: 2, Shards: 3}
+	shards, err := cluster.BuildShards(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[1].Roots = nil // simulate a warm restart from a v1 snapshot
+	fleet := startCommFleet(t, shards, nil, 2*time.Second)
+	rt, err := cluster.NewRouter(fleet.conns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SelectQuery(cluster.RouterQuery{K: 3, Audience: []graph.Vertex{1, 2, 3}}, nil); err == nil {
+		t.Fatal("audience query served without sample roots")
+	}
+	if _, err := rt.Spread([]graph.Vertex{1}, []graph.Vertex{2}); err == nil {
+		t.Fatal("audience spread served without sample roots")
+	}
+	// The rootless shard is healthy, not failed: plain selection and
+	// unrestricted spread still run over the whole fleet.
+	res, err := rt.Select(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.TotalSamples != res.Theta {
+		t.Fatalf("in-band refusal degraded the fleet: %+v", res)
+	}
+	if _, err := rt.Spread([]graph.Vertex{1}, nil); err != nil {
+		t.Fatalf("unrestricted spread: %v", err)
+	}
+}
+
+// TestRouterServerQueryEndpoints drives the extended /v1/seeds fields and
+// the /v1/spread endpoint over HTTP, including the error paths.
+func TestRouterServerQueryEndpoints(t *testing.T) {
+	g := testGraph(23, 70, 450)
+	opt := cluster.BuildOptions{K: 6, Epsilon: 0.5, Model: diffuse.IC, Seed: 29, Workers: 2, Shards: 2}
+	const k = 4
+	want := refQuery(t, g, opt, imm.Query{K: k, Budget: 3})
+	shards, err := cluster.BuildShards(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := startCommFleet(t, shards, nil, 2*time.Second)
+	rt, err := cluster.NewRouter(fleet.conns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := cluster.NewRouterServer(rt, cluster.RouterServerConfig{})
+	srv := httptest.NewServer(rs.Handler())
+	defer srv.Close()
+
+	// Budgeted seeds: eligible/spentBudget extras present and correct.
+	resp, err := http.Post(srv.URL+"/v1/seeds", "application/json", strings.NewReader(`{"k":4,"budget":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seedsResp struct {
+		Seeds       []graph.Vertex `json:"seeds"`
+		Gains       []int64        `json:"gains"`
+		Eligible    int64          `json:"eligible"`
+		SpentBudget float64        `json:"spentBudget"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&seedsResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !slices.Equal(seedsResp.Seeds, want.Seeds) {
+		t.Fatalf("budgeted seeds: status %d, %v (want %v)", resp.StatusCode, seedsResp.Seeds, want.Seeds)
+	}
+	if !slices.Equal(seedsResp.Gains, want.Gains) || seedsResp.SpentBudget != want.SpentBudget || seedsResp.Eligible != want.Eligible {
+		t.Fatalf("budgeted extras: %+v vs %+v", seedsResp, want)
+	}
+
+	// Spread endpoint against the routed Spread.
+	wantSp, err := rt.Spread(want.Seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(struct {
+		Seeds []graph.Vertex `json:"seeds"`
+	}{want.Seeds})
+	resp, err = http.Post(srv.URL+"/v1/spread", "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spreadResp struct {
+		Covered         int64   `json:"covered"`
+		Eligible        int64   `json:"eligible"`
+		EstimatedSpread float64 `json:"estimatedSpread"`
+		Shards          int     `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&spreadResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || spreadResp.Covered != wantSp.Covered ||
+		spreadResp.Eligible != wantSp.Eligible || spreadResp.EstimatedSpread != wantSp.EstimatedSpread ||
+		spreadResp.Shards != 2 {
+		t.Fatalf("spread response: status %d, %+v (want %+v)", resp.StatusCode, spreadResp, wantSp)
+	}
+
+	// Error paths: malformed JSON, empty seeds, out-of-range vertices and
+	// invalid query parameterizations must all answer 400.
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/spread", `{"seeds":`},
+		{"/v1/spread", `{"seeds":[]}`},
+		{"/v1/spread", `{"seeds":[99999]}`},
+		{"/v1/spread", `{"seeds":[1],"audience":[99999]}`},
+		{"/v1/seeds", `{"k":4,"costs":[1,2]}`},
+		{"/v1/seeds", `{"k":4,"budget":-1}`},
+		{"/v1/seeds", `{"k":4,"audience":[99999]}`},
+	} {
+		resp, err := http.Post(srv.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s %s: status %d, want 400", tc.path, tc.body, resp.StatusCode)
+		}
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"influmax/internal/graph"
+	"influmax/internal/imm"
 	"influmax/internal/metrics"
+	"influmax/internal/mpi"
 )
 
 // probeInterval rate-limits rejoin probing of failed shards: at most one
@@ -216,6 +218,33 @@ func (rt *Router) alive() []int {
 	return out
 }
 
+// RouterQuery is one routed selection request — the cluster face of
+// imm.Query (DESIGN.md §17). Audience filtering and blocked purging are
+// per-shard ops; the budgeted argmax runs router-side over the merged
+// counter, exactly like the plain one.
+type RouterQuery struct {
+	// K bounds the seed count (budgeted queries may stop earlier).
+	K int
+	// Costs/Budget select cost-aware greedy (see imm.Query).
+	Costs  []float64
+	Budget float64
+	// Audience restricts coverage to samples rooted in it (requires shard
+	// roots — header-v2 snapshots or fresh builds).
+	Audience []graph.Vertex
+	// Blocked is the rival seed set to exclude and pre-purge.
+	Blocked []graph.Vertex
+}
+
+// Plain reports whether q is the classic top-k selection.
+func (q RouterQuery) Plain() bool {
+	return q.Budget == 0 && len(q.Costs) == 0 && len(q.Audience) == 0 && len(q.Blocked) == 0
+}
+
+// asImm converts to the imm validation/semantics carrier.
+func (q RouterQuery) asImm() imm.Query {
+	return imm.Query{K: q.K, Costs: q.Costs, Budget: q.Budget, Audience: q.Audience, Blocked: q.Blocked}
+}
+
 // SelectResult is one routed query's outcome.
 type SelectResult struct {
 	// Seeds is the selected set in greedy order; Gains[i] is the marginal
@@ -242,18 +271,41 @@ type SelectResult struct {
 	ShardEpochs []uint64
 	// Rounds counts greedy purge rounds, including failover replays.
 	Rounds int
+	// Eligible is the participating samples passing the audience filter
+	// (equals TotalSamples without one); SpentBudget the summed cost of
+	// Seeds under a budgeted query (0 otherwise).
+	Eligible    int64
+	SpentBudget float64
 	// Duration is the query wall time.
 	Duration time.Duration
 }
 
-// Select runs the distributed greedy loop for k seeds. onSeed, when
-// non-nil, is called after each seed is committed (the streaming hook);
-// gains reported there are as-of selection time and may be restated in
-// the final result if a failover intervened.
+// Select runs the distributed greedy loop for k seeds — the plain top-k
+// query. onSeed, when non-nil, is called after each seed is committed (the
+// streaming hook); gains reported there are as-of selection time and may
+// be restated in the final result if a failover intervened.
 func (rt *Router) Select(k int, onSeed func(i int, v graph.Vertex, gain int64)) (*SelectResult, error) {
+	return rt.SelectQuery(RouterQuery{K: k}, onSeed)
+}
+
+// SelectQuery runs any routed query shape: plain, budgeted, targeted
+// (audience), blocked, or combinations. The merged-counter greedy is
+// byte-identical to imm.SelectQuerySketch over the union of the shards'
+// samples — audience filtering and blocked purging happen shard-side,
+// while the budgeted ratio argmax runs router-side over the merged counts
+// exactly as the single-process loop runs it over its counters. Failover
+// replays restart the audience-filtered sessions and re-purge the blocked
+// set before replaying committed seeds, so the degraded result is the
+// survivors' exact answer.
+func (rt *Router) SelectQuery(q RouterQuery, onSeed func(i int, v graph.Vertex, gain int64)) (*SelectResult, error) {
 	start := time.Now()
-	if k < 1 || k > rt.canon.KMax {
-		return nil, fmt.Errorf("cluster: k = %d, want 1 <= k <= kMax = %d", k, rt.canon.KMax)
+	n := rt.canon.NumVertices
+	if q.K < 1 || q.K > rt.canon.KMax {
+		return nil, fmt.Errorf("cluster: k = %d, want 1 <= k <= kMax = %d", q.K, rt.canon.KMax)
+	}
+	iq := q.asImm()
+	if err := iq.Validate(n); err != nil {
+		return nil, err
 	}
 	alive := rt.alive()
 	if len(alive) == 0 {
@@ -261,26 +313,108 @@ func (rt *Router) Select(k int, onSeed func(i int, v graph.Vertex, gain int64)) 
 	}
 	rt.mQueries.Inc()
 
-	n := rt.canon.NumVertices
-	session := rt.nextSession.Add(1)
-	counter, alive, err := rt.startRound(session, alive)
-	if err != nil {
-		return nil, err
+	var costs []float64
+	if iq.Budgeted() {
+		costs = q.Costs
+		if costs == nil {
+			costs = make([]float64, n)
+			for i := range costs {
+				costs[i] = 1
+			}
+		}
 	}
 
 	chosen := make([]bool, n)
-	seeds := make([]graph.Vertex, 0, k)
-	gains := make([]int64, 0, k)
-	var coveredCount int64
+	seeds := make([]graph.Vertex, 0, q.K)
+	gains := make([]int64, 0, q.K)
+	var coveredCount, eligible int64
+	var spent float64
 	rounds := 0
+	var counter []int64
+	var session uint64
 
-	for len(seeds) < k {
-		// Identical integer argmax as dist.selectSeedsIndexed: ascending
-		// scan, strict >, so ties break to the lowest vertex.
+	// establish opens fresh sessions on the slots and rebuilds the
+	// committed query state: the audience-filtered (or plain) merged
+	// counter, the blocked purges, then the chosen seeds in order with
+	// gains and coverage restated. Used for the initial setup and after
+	// every failover; loops internally until a whole replay survives.
+	establish := func(slots []int) ([]int, error) {
+		for {
+			if len(slots) == 0 {
+				return nil, ErrNoShards
+			}
+			session = rt.nextSession.Add(1)
+			var err error
+			counter, eligible, slots, err = rt.startQueryRound(session, slots, q.Audience)
+			if err != nil {
+				return nil, err
+			}
+			coveredCount = 0
+			ok := true
+			replay := func(v graph.Vertex) bool {
+				rounds++
+				rt.mRounds.Inc()
+				decs, failedNow := rt.purgeRound(session, slots, v)
+				if len(failedNow) > 0 {
+					rt.mFailovers.Inc()
+					rt.markFailed(failedNow)
+					slots = subtract(slots, failedNow)
+					return false
+				}
+				applyDecs(counter, decs)
+				return true
+			}
+			for _, b := range q.Blocked {
+				chosen[b] = true
+				if counter[b] == 0 {
+					continue
+				}
+				if ok = replay(b); !ok {
+					break
+				}
+			}
+			if ok {
+				for i, s := range seeds {
+					gains[i] = counter[s]
+					coveredCount += counter[s]
+					if ok = replay(s); !ok {
+						break
+					}
+				}
+			}
+			if ok {
+				return slots, nil
+			}
+		}
+	}
+	var err error
+	if alive, err = establish(alive); err != nil {
+		return nil, err
+	}
+
+	for len(seeds) < q.K {
+		// Identical argmax as the single-process loop: ascending scan with
+		// strictly-better replacement, so ties break to the lowest vertex;
+		// budgeted queries rank by (gain/cost, gain, vertex) over the
+		// affordable candidates (imm's ratioBetter order).
 		best, arg := int64(-1), -1
-		for v := 0; v < n; v++ {
-			if !chosen[v] && counter[v] > best {
-				best, arg = counter[v], v
+		if costs == nil {
+			for v := 0; v < n; v++ {
+				if !chosen[v] && counter[v] > best {
+					best, arg = counter[v], v
+				}
+			}
+		} else {
+			bestR := 0.0
+			for v := 0; v < n; v++ {
+				if chosen[v] || spent+costs[v] > q.Budget {
+					continue
+				}
+				g := counter[v]
+				r := float64(g) / costs[v]
+				if arg < 0 || r > bestR || (r == bestR && g > best) {
+					bestR, best, arg = r, g, v
+				}
 			}
 		}
 		if arg < 0 {
@@ -291,6 +425,9 @@ func (rt *Router) Select(k int, onSeed func(i int, v graph.Vertex, gain int64)) 
 		gains = append(gains, counter[arg])
 		chosen[arg] = true
 		coveredCount += counter[arg]
+		if costs != nil {
+			spent += costs[arg]
+		}
 		if onSeed != nil {
 			onSeed(len(seeds)-1, v, counter[arg])
 		}
@@ -303,41 +440,17 @@ func (rt *Router) Select(k int, onSeed func(i int, v graph.Vertex, gain int64)) 
 			continue
 		}
 
-		// Failover: drop the failed shards, rebuild counter state on the
-		// survivors with fresh sessions, replay the committed seeds (their
-		// purges re-cover the survivors' samples), then continue greedily.
+		// Failover: drop the failed shards and rebuild the full query
+		// state on the survivors (fresh filtered sessions, blocked
+		// re-purged, committed seeds replayed), then continue greedily.
 		rt.mFailovers.Inc()
 		rt.markFailed(failedNow)
 		alive = subtract(alive, failedNow)
-		for {
-			if len(alive) == 0 {
+		if alive, err = establish(alive); err != nil {
+			if err == ErrNoShards {
 				return nil, fmt.Errorf("cluster: every shard failed mid-query (last: shard %d)", failedNow[len(failedNow)-1])
 			}
-			session = rt.nextSession.Add(1)
-			counter, alive, err = rt.startRound(session, alive)
-			if err != nil {
-				return nil, err
-			}
-			coveredCount = 0
-			ok := true
-			for i, s := range seeds {
-				gains[i] = counter[s]
-				coveredCount += counter[s]
-				rounds++
-				rt.mRounds.Inc()
-				decs, failedNow = rt.purgeRound(session, alive, s)
-				if len(failedNow) > 0 {
-					rt.mFailovers.Inc()
-					rt.markFailed(failedNow)
-					alive = subtract(alive, failedNow)
-					ok = false
-					break
-				}
-				applyDecs(counter, decs)
-			}
-			if ok {
-				break
-			}
+			return nil, err
 		}
 	}
 	rt.endRound(session, alive)
@@ -357,6 +470,9 @@ func (rt *Router) Select(k int, onSeed func(i int, v graph.Vertex, gain int64)) 
 	if len(failedSlots) > 0 {
 		rt.mDegraded.Inc()
 	}
+	if len(q.Audience) == 0 {
+		eligible = totalSamples
+	}
 
 	res := &SelectResult{
 		Seeds:        seeds,
@@ -368,10 +484,190 @@ func (rt *Router) Select(k int, onSeed func(i int, v graph.Vertex, gain int64)) 
 		Degraded:     len(failedSlots) > 0,
 		ShardEpochs:  epochs,
 		Rounds:       rounds,
+		Eligible:     eligible,
+		SpentBudget:  spent,
 		Duration:     time.Since(start),
 	}
 	if totalSamples > 0 {
 		res.CoverageFraction = float64(coveredCount) / float64(totalSamples)
+	}
+	res.EstimatedSpread = res.CoverageFraction * float64(n)
+	rt.mLatency.Observe(res.Duration.Microseconds())
+	return res, nil
+}
+
+// startQueryRound opens session on every slot in parallel — plain or
+// audience-filtered — and merges the shards' coverage counts plus the
+// fleet-wide eligible sample total (0 when unfiltered; the caller
+// substitutes the participating sample count). Transport failures mark
+// and drop the slot like startRound; an in-band shard error (say, a
+// header-v1 snapshot without the root column refusing a filtered start)
+// aborts the query instead — the shard is healthy and its replicas would
+// all refuse alike, so failover would only erase the fleet.
+func (rt *Router) startQueryRound(session uint64, slots []int, audience []graph.Vertex) ([]int64, int64, []int, error) {
+	if len(audience) == 0 {
+		counter, live, err := rt.startRound(session, slots)
+		return counter, 0, live, err
+	}
+	counts := make([][]int64, len(slots))
+	eligs := make([]int64, len(slots))
+	errs := make([]error, len(slots))
+	var wg sync.WaitGroup
+	for i, slot := range slots {
+		wg.Add(1)
+		go func(i, slot int) {
+			defer wg.Done()
+			var err error
+			counts[i], eligs[i], err = rt.conns[slot].StartFiltered(session, audience)
+			if err == nil && len(counts[i]) != rt.canon.NumVertices {
+				err = failedErr(slot, fmt.Errorf("cluster: shard %d returned %d counts, want %d", slot, len(counts[i]), rt.canon.NumVertices))
+			}
+			errs[i] = err
+		}(i, slot)
+	}
+	wg.Wait()
+	var failedNow []int
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var rf *mpi.RankFailedError
+		if !errors.As(err, &rf) {
+			return nil, 0, nil, err
+		}
+		failedNow = append(failedNow, slots[i])
+		counts[i] = nil
+	}
+	if len(failedNow) > 0 {
+		rt.markFailed(failedNow)
+		slots = subtract(slots, failedNow)
+	}
+	if len(slots) == 0 {
+		return nil, 0, nil, ErrNoShards
+	}
+	merged := make([]int64, rt.canon.NumVertices)
+	var eligible int64
+	for i, c := range counts {
+		if c == nil {
+			continue
+		}
+		eligible += eligs[i]
+		for v, x := range c {
+			merged[v] += x
+		}
+	}
+	return merged, eligible, slots, nil
+}
+
+// SpreadResult is one routed spread estimate's outcome.
+type SpreadResult struct {
+	// Covered is how many participating samples the seed set covers;
+	// Eligible how many pass the audience filter (all participating
+	// samples without one).
+	Covered  int64
+	Eligible int64
+	// Theta is the fleet's sample count; TotalSamples the samples actually
+	// participating (smaller when shards are down).
+	Theta        int64
+	TotalSamples int64
+	// CoverageFraction is Covered/TotalSamples; EstimatedSpread is
+	// n * CoverageFraction — with an audience, the expected number of
+	// audience members influenced.
+	CoverageFraction float64
+	EstimatedSpread  float64
+	// Shards/FailedShards/Degraded mirror SelectResult.
+	Shards       int
+	FailedShards []int
+	Degraded     bool
+	// Duration is the query wall time.
+	Duration time.Duration
+}
+
+// Spread estimates the influence of a caller-supplied seed set over the
+// fleet's samples — the routed face of imm.CoverageOf. It is stateless
+// (no session): each shard counts its covered and eligible samples and
+// the router sums, so the estimate is byte-identical to a single process
+// holding the union of the shards' samples. audience may be empty
+// (unrestricted).
+func (rt *Router) Spread(seeds, audience []graph.Vertex) (*SpreadResult, error) {
+	start := time.Now()
+	n := rt.canon.NumVertices
+	if len(seeds) == 0 {
+		return nil, errors.New("cluster: spread needs at least one seed")
+	}
+	for _, v := range seeds {
+		if int(v) >= n {
+			return nil, fmt.Errorf("cluster: seed vertex %d out of range (n = %d)", v, n)
+		}
+	}
+	for _, v := range audience {
+		if int(v) >= n {
+			return nil, fmt.Errorf("cluster: audience vertex %d out of range (n = %d)", v, n)
+		}
+	}
+	alive := rt.alive()
+	if len(alive) == 0 {
+		return nil, ErrNoShards
+	}
+	rt.mQueries.Inc()
+	covs := make([]int64, len(alive))
+	eligs := make([]int64, len(alive))
+	errs := make([]error, len(alive))
+	var wg sync.WaitGroup
+	for i, slot := range alive {
+		wg.Add(1)
+		go func(i, slot int) {
+			defer wg.Done()
+			covs[i], eligs[i], errs[i] = rt.conns[slot].Spread(seeds, audience)
+		}(i, slot)
+	}
+	wg.Wait()
+	var failedNow []int
+	var covered, eligible int64
+	for i, err := range errs {
+		if err == nil {
+			covered += covs[i]
+			eligible += eligs[i]
+			continue
+		}
+		var rf *mpi.RankFailedError
+		if !errors.As(err, &rf) {
+			return nil, err
+		}
+		failedNow = append(failedNow, alive[i])
+	}
+	if len(failedNow) > 0 {
+		rt.markFailed(failedNow)
+		alive = subtract(alive, failedNow)
+	}
+	if len(alive) == 0 {
+		return nil, ErrNoShards
+	}
+
+	var totalSamples int64
+	rt.mu.Lock()
+	for _, slot := range alive {
+		totalSamples += int64(rt.info[slot].Samples)
+	}
+	rt.mu.Unlock()
+	failedSlots := rt.FailedShards()
+	sort.Ints(failedSlots)
+	if len(failedSlots) > 0 {
+		rt.mDegraded.Inc()
+	}
+
+	res := &SpreadResult{
+		Covered:      covered,
+		Eligible:     eligible,
+		Theta:        rt.canon.Theta,
+		TotalSamples: totalSamples,
+		Shards:       len(rt.conns),
+		FailedShards: failedSlots,
+		Degraded:     len(failedSlots) > 0,
+		Duration:     time.Since(start),
+	}
+	if totalSamples > 0 {
+		res.CoverageFraction = float64(covered) / float64(totalSamples)
 	}
 	res.EstimatedSpread = res.CoverageFraction * float64(n)
 	rt.mLatency.Observe(res.Duration.Microseconds())

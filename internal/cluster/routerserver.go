@@ -67,6 +67,7 @@ func NewRouterServer(rt *Router, cfg RouterServerConfig) *RouterServer {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/seeds", s.handleSeeds)
+	s.mux.HandleFunc("POST /v1/spread", s.handleSpread)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
@@ -131,10 +132,20 @@ func (s *RouterServer) Report() *metrics.RunReport {
 }
 
 // routerSeedsRequest is the POST /v1/seeds body; Stream selects NDJSON
-// partial-result streaming.
+// partial-result streaming. The query-diversity fields (DESIGN.md §17)
+// are all optional — absent, the request is the classic top-k and the
+// response is unchanged from earlier releases.
 type routerSeedsRequest struct {
 	K      int  `json:"k"`
 	Stream bool `json:"stream,omitempty"`
+	// Costs (per-vertex, length n) and Budget select cost-aware greedy;
+	// Budget alone implies unit costs.
+	Costs  []float64 `json:"costs,omitempty"`
+	Budget float64   `json:"budget,omitempty"`
+	// Audience restricts coverage to samples rooted in it (targeted
+	// influence); Blocked excludes a rival's seeds and their coverage.
+	Audience []graph.Vertex `json:"audience,omitempty"`
+	Blocked  []graph.Vertex `json:"blocked,omitempty"`
 }
 
 // routerSeedsResponse is the non-streaming reply, and the final line of a
@@ -153,6 +164,30 @@ type routerSeedsResponse struct {
 	FailedShards     []int          `json:"failedShards"`
 	ShardEpochs      []uint64       `json:"shardEpochs"`
 	Rounds           int            `json:"rounds"`
+	// Query-diversity extras, present only on non-plain queries so classic
+	// top-k responses keep their exact historical shape.
+	Eligible    int64   `json:"eligible,omitempty"`
+	SpentBudget float64 `json:"spentBudget,omitempty"`
+}
+
+// routerSpreadRequest is the POST /v1/spread body: estimate the influence
+// of a caller-supplied seed set, optionally restricted to an audience.
+type routerSpreadRequest struct {
+	Seeds    []graph.Vertex `json:"seeds"`
+	Audience []graph.Vertex `json:"audience,omitempty"`
+}
+
+// routerSpreadResponse is the POST /v1/spread reply.
+type routerSpreadResponse struct {
+	Covered          int64   `json:"covered"`
+	Eligible         int64   `json:"eligible"`
+	CoverageFraction float64 `json:"coverageFraction"`
+	EstimatedSpread  float64 `json:"estimatedSpread"`
+	Theta            int64   `json:"theta"`
+	TotalSamples     int64   `json:"totalSamples"`
+	Shards           int     `json:"shards"`
+	Degraded         bool    `json:"degraded"`
+	FailedShards     []int   `json:"failedShards"`
 }
 
 // streamedSeed is one NDJSON partial-result line: a seed the greedy loop
@@ -204,6 +239,14 @@ func (s *RouterServer) handleSeeds(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("k = %d, want 1 <= k <= kMax = %d", req.K, s.rt.Fleet().KMax)})
 		return
 	}
+	q := RouterQuery{K: req.K, Costs: req.Costs, Budget: req.Budget,
+		Audience: req.Audience, Blocked: req.Blocked}
+	if !q.Plain() {
+		if err := q.asImm().Validate(s.rt.Fleet().NumVertices); err != nil {
+			s.writeJSON(w, http.StatusBadRequest, routerError{Error: err.Error()})
+			return
+		}
+	}
 	select {
 	case s.running <- struct{}{}:
 		defer func() { <-s.running }()
@@ -232,7 +275,7 @@ func (s *RouterServer) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res, err := s.rt.Select(req.K, onSeed)
+	res, err := s.rt.SelectQuery(q, onSeed)
 	if err != nil {
 		if req.Stream {
 			enc.Encode(routerError{Error: err.Error()})
@@ -260,11 +303,80 @@ func (s *RouterServer) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		ShardEpochs:      res.ShardEpochs,
 		Rounds:           res.Rounds,
 	}
+	if !q.Plain() {
+		resp.Eligible = res.Eligible
+		resp.SpentBudget = res.SpentBudget
+	}
 	if req.Stream {
 		enc.Encode(resp)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSpread serves POST /v1/spread: the routed seed-set spread
+// estimate, under the same admission control as /v1/seeds.
+func (s *RouterServer) handleSpread(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeBackoff(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.admitted.Add(1) > s.admitLimit {
+		s.admitted.Add(-1)
+		s.mRejected.Inc()
+		s.writeBackoff(w, http.StatusTooManyRequests,
+			"saturated: %d queries admitted (limit %d running + %d queued)",
+			s.admitLimit, s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+		return
+	}
+	defer s.admitted.Add(-1)
+
+	var req routerSpreadRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, routerError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	n := s.rt.Fleet().NumVertices
+	if len(req.Seeds) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, routerError{Error: "spread needs at least one seed"})
+		return
+	}
+	for _, v := range append(append([]graph.Vertex{}, req.Seeds...), req.Audience...) {
+		if int(v) >= n {
+			s.writeJSON(w, http.StatusBadRequest, routerError{
+				Error: fmt.Sprintf("vertex %d out of range (n = %d)", v, n)})
+			return
+		}
+	}
+	select {
+	case s.running <- struct{}{}:
+		defer func() { <-s.running }()
+	case <-r.Context().Done():
+		s.writeBackoff(w, http.StatusServiceUnavailable, "queue wait exceeded: %v", r.Context().Err())
+		return
+	}
+
+	res, err := s.rt.Spread(req.Seeds, req.Audience)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if err == ErrNoShards {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeJSON(w, status, routerError{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, routerSpreadResponse{
+		Covered:          res.Covered,
+		Eligible:         res.Eligible,
+		CoverageFraction: res.CoverageFraction,
+		EstimatedSpread:  res.EstimatedSpread,
+		Theta:            res.Theta,
+		TotalSamples:     res.TotalSamples,
+		Shards:           res.Shards,
+		Degraded:         res.Degraded,
+		FailedShards:     append([]int{}, res.FailedShards...),
+	})
 }
 
 // handleHealthz: 200 while at least one shard is alive and not draining;

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"influmax/internal/graph"
+	"influmax/internal/imm"
 	"influmax/internal/rrr"
 )
 
@@ -38,6 +39,12 @@ type Shard struct {
 	// static sketches). The router refuses to merge counts across shards
 	// at different epochs.
 	Epoch uint64
+	// Roots maps each local sample to its root vertex (re-derived from
+	// the global sample ids via imm.RootAt at build time, persisted in
+	// shard-snapshot header v2). Required only by the audience-filtered
+	// ops; nil — e.g. a v1 snapshot — makes those ops answer an in-band
+	// error while everything else keeps serving.
+	Roots []graph.Vertex
 
 	mu       sync.Mutex
 	sessions map[uint64]*session
@@ -156,6 +163,73 @@ func (sh *Shard) Purge(id uint64, v graph.Vertex) ([]DecPair, error) {
 	return pairs, nil
 }
 
+// StartFiltered opens greedy session id restricted to samples rooted in
+// the audience: samples rooted elsewhere are pre-marked covered (so later
+// Purge calls skip them) and the returned dense counts run over the
+// eligible remainder only, whose size is returned alongside. Requires
+// sample roots.
+func (sh *Shard) StartFiltered(id uint64, audience []graph.Vertex) ([]int64, int64, error) {
+	n := sh.Col.NumVertices()
+	if len(sh.Roots) != sh.Col.Count() {
+		return nil, 0, fmt.Errorf("cluster: shard %d has no sample roots (snapshot predates header v2); rebuild or re-snapshot it", sh.ShardIdx)
+	}
+	if len(audience) == 0 {
+		return nil, 0, fmt.Errorf("cluster: filtered start with an empty audience")
+	}
+	inAud := make([]bool, n)
+	for _, v := range audience {
+		if int(v) >= n {
+			return nil, 0, fmt.Errorf("cluster: audience vertex %d out of range (n = %d)", v, n)
+		}
+		inAud[v] = true
+	}
+	covered := rrr.NewBitset(sh.Col.Count())
+	var eligible int64
+	acc := make([]int32, n)
+	for j, r := range sh.Roots {
+		if !inAud[r] {
+			covered.Set(j)
+			continue
+		}
+		eligible++
+		sh.Col.AccumMembers(j, acc)
+	}
+	counts := make([]int64, n)
+	for v, c := range acc {
+		counts[v] = int64(c)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.seq++
+	sh.sessions[id] = &session{seq: sh.seq, covered: covered}
+	if len(sh.sessions) > maxSessions {
+		var oldID uint64
+		oldSeq := sh.seq + 1
+		for sid, s := range sh.sessions {
+			if s.seq < oldSeq {
+				oldSeq, oldID = s.seq, sid
+			}
+		}
+		delete(sh.sessions, oldID)
+	}
+	return counts, eligible, nil
+}
+
+// Spread is the stateless spread estimate over this shard's samples: how
+// many of them (optionally restricted to audience-rooted ones) the seed
+// set covers. Read entirely off the incidence index; never touches a
+// session.
+func (sh *Shard) Spread(seeds, audience []graph.Vertex) (covered, eligible int64, err error) {
+	var roots []graph.Vertex
+	if len(audience) > 0 {
+		if len(sh.Roots) != sh.Col.Count() {
+			return 0, 0, fmt.Errorf("cluster: shard %d has no sample roots (snapshot predates header v2); rebuild or re-snapshot it", sh.ShardIdx)
+		}
+		roots = sh.Roots
+	}
+	return imm.CoverageOf(sh.Col.Count(), sh.Idx, roots, seeds, audience)
+}
+
 // End closes session id; unknown ids are a no-op (End is best-effort
 // cleanup on the router side).
 func (sh *Shard) End(id uint64) {
@@ -186,6 +260,18 @@ func (sh *Shard) handle(req request) []byte {
 			return encodeErrorResp(err.Error())
 		}
 		return encodeDecsResp(pairs)
+	case opStartFiltered:
+		counts, eligible, err := sh.StartFiltered(req.session, req.audience)
+		if err != nil {
+			return encodeErrorResp(err.Error())
+		}
+		return encodeFilteredCountsResp(counts, eligible)
+	case opSpread:
+		covered, eligible, err := sh.Spread(req.seeds, req.audience)
+		if err != nil {
+			return encodeErrorResp(err.Error())
+		}
+		return encodeSpreadResp(covered, eligible)
 	case opEnd:
 		sh.End(req.session)
 		return encodeAckResp()

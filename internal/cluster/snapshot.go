@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"influmax/internal/graph"
 	"influmax/internal/rrr"
 )
 
@@ -21,10 +22,18 @@ import (
 // peer bootstrap — net/http chunks the stream.
 
 // shardMagic opens a shard snapshot; the trailing byte is the header
-// version.
-var shardMagic = [8]byte{'I', 'M', 'X', 'S', 'H', 'R', 'D', 1}
+// version. v1 is the original header; v2 appends the per-sample root
+// column (uint32 count + count little-endian uint32 roots) between the
+// header and the sketch snapshot, powering the audience-filtered query
+// ops after a warm restart. v1 snapshots still load — with Roots nil,
+// those ops answer an in-band error until the shard is re-snapshotted.
+var shardMagic = [8]byte{'I', 'M', 'X', 'S', 'H', 'R', 'D', 2}
 
-// WriteShardSnapshot writes sh (header + v3 snapshot) to w.
+// shardMagicV1 is the pre-roots header accepted on read.
+var shardMagicV1 = [8]byte{'I', 'M', 'X', 'S', 'H', 'R', 'D', 1}
+
+// WriteShardSnapshot writes sh (header v2 + root column + v3 snapshot) to
+// w.
 func WriteShardSnapshot(w io.Writer, sh *Shard) error {
 	var hdr [24]byte
 	copy(hdr[:8], shardMagic[:])
@@ -32,6 +41,14 @@ func WriteShardSnapshot(w io.Writer, sh *Shard) error {
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(sh.ShardCount))
 	binary.LittleEndian.PutUint64(hdr[16:], sh.Epoch)
 	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	roots := make([]byte, 4+4*len(sh.Roots))
+	binary.LittleEndian.PutUint32(roots, uint32(len(sh.Roots)))
+	for i, r := range sh.Roots {
+		binary.LittleEndian.PutUint32(roots[4+4*i:], uint32(r))
+	}
+	if _, err := w.Write(roots); err != nil {
 		return err
 	}
 	return rrr.WriteSnapshot(w, sh.Meta, sh.Col, sh.Idx, nil)
@@ -45,12 +62,36 @@ func ReadShardSnapshot(r io.Reader, maxBytes int64, p int) (*Shard, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("cluster: reading shard header: %w", err)
 	}
-	if [8]byte(hdr[:8]) != shardMagic {
+	magic := [8]byte(hdr[:8])
+	if magic != shardMagic && magic != shardMagicV1 {
 		return nil, fmt.Errorf("cluster: not a shard snapshot (bad magic)")
 	}
 	shardIdx := int(binary.LittleEndian.Uint32(hdr[8:]))
 	shardCount := int(binary.LittleEndian.Uint32(hdr[12:]))
 	epoch := binary.LittleEndian.Uint64(hdr[16:])
+	var roots []graph.Vertex
+	if magic == shardMagic {
+		budget := maxBytes
+		if budget <= 0 {
+			budget = rrr.DefaultMaxSnapshotBytes
+		}
+		var cntBuf [4]byte
+		if _, err := io.ReadFull(r, cntBuf[:]); err != nil {
+			return nil, fmt.Errorf("cluster: reading shard root column: %w", err)
+		}
+		cnt := int64(binary.LittleEndian.Uint32(cntBuf[:]))
+		if 4*cnt > budget {
+			return nil, fmt.Errorf("cluster: shard root column claims %d samples, past the %d-byte budget", cnt, budget)
+		}
+		raw := make([]byte, 4*cnt)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, fmt.Errorf("cluster: reading shard root column: %w", err)
+		}
+		roots = make([]graph.Vertex, cnt)
+		for i := range roots {
+			roots[i] = graph.Vertex(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+	}
 	meta, col, idx, deltas, err := rrr.ReadSnapshot(r, maxBytes)
 	if err != nil {
 		return nil, err
@@ -58,7 +99,21 @@ func ReadShardSnapshot(r io.Reader, maxBytes int64, p int) (*Shard, error) {
 	if len(deltas) > 0 {
 		return nil, fmt.Errorf("cluster: shard snapshot carries a delta log; shards serve static sketches")
 	}
-	return NewShard(meta, col, idx, shardIdx, shardCount, epoch, p)
+	if roots != nil && len(roots) != col.Count() {
+		return nil, fmt.Errorf("cluster: shard root column has %d entries for %d samples", len(roots), col.Count())
+	}
+	n := col.NumVertices()
+	for _, rt := range roots {
+		if int(rt) >= n {
+			return nil, fmt.Errorf("cluster: shard root %d out of range (n = %d)", rt, n)
+		}
+	}
+	sh, err := NewShard(meta, col, idx, shardIdx, shardCount, epoch, p)
+	if err != nil {
+		return nil, err
+	}
+	sh.Roots = roots
+	return sh, nil
 }
 
 // SaveShardSnapshotFile persists sh at path atomically (temp + rename),

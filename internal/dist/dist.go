@@ -109,6 +109,14 @@ type Result struct {
 	// a clean run.
 	Coded *rrr.CodedCollection
 	Index *rrr.Index
+	// SampleIDs maps the retained shard's local sample ids to the global
+	// sample indices of the single-process run (KeepStore only). The local
+	// slice is a union of per-batch contiguous intervals, not one
+	// contiguous range, so the mapping cannot be recomputed from
+	// (rank, size) alone; with it, per-sample state that is a pure
+	// function of the global index — like PerSample roots, see
+	// imm.RootAt — can be re-derived for any shard.
+	SampleIDs []int64
 }
 
 // state carries the per-rank machinery across phases.
@@ -119,6 +127,7 @@ type state struct {
 	col     *rrr.Collection
 	coded   *rrr.CodedCollection // non-nil once the shard is transcoded (Store == imm.StoreCoded)
 	global  int64                // samples generated across all ranks so far
+	spans   [][2]int64           // global [lo, hi) of each local sample batch, in append order
 	threads int
 
 	sampler *imm.BatchSampler // intra-rank multithreaded sampling machinery
@@ -290,6 +299,12 @@ func Run(c mpi.Comm, g *graph.Graph, opt Options) (*Result, error) {
 		}
 		res.Coded = st.coded
 		res.Index = idx
+		res.SampleIDs = make([]int64, 0, st.coded.Count())
+		for _, sp := range st.spans {
+			for g := sp[0]; g < sp[1]; g++ {
+				res.SampleIDs = append(res.SampleIDs, g)
+			}
+		}
 	}
 
 	finish()
@@ -324,6 +339,7 @@ func (st *state) sampleGlobal(count int64) error {
 	lo, hi := par.Interval(int(count), st.c.Size(), st.c.Rank())
 	if local := hi - lo; local > 0 {
 		st.sampler.SampleAt(st.col, uint64(st.global+int64(lo)), local)
+		st.spans = append(st.spans, [2]int64{st.global + int64(lo), st.global + int64(hi)})
 	}
 	st.global += count
 	return nil

@@ -1,0 +1,54 @@
+package imm
+
+import (
+	"testing"
+
+	"influmax/internal/graph"
+	"influmax/internal/rrr"
+)
+
+// BenchmarkSelectBudgeted prices the budgeted (cost-aware CELF) selection
+// loop against the plain top-k loop it extends, on the soc-LiveJournal1
+// analog with the same sketch sizing the other gate benchmarks use. Both
+// sub-benchmarks run over a prebuilt index so the numbers isolate the
+// selection loops themselves: "plain" is the k-argmax purge loop,
+// "budgeted" adds the lazy ratio heap, per-vertex costs and the budget
+// admission check. The pair rides the CI bench-gate baseline — a
+// regression in "budgeted" that leaves "plain" flat points at the heap,
+// not the shared purge machinery.
+func BenchmarkSelectBudgeted(b *testing.B) {
+	g := benchGraph(b, func(g *graph.Graph) { g.AssignWeightedCascade() })
+	n := g.NumVertices()
+	const samples = 200000
+	const benchSeed = 3
+	col := rrrCollection(g, benchSeed, samples)
+	const workers = 8
+	idx := rrr.BuildIndex(col, workers)
+	k := 100
+	if k > n {
+		k = n
+	}
+	costs := make([]float64, n)
+	for v := range costs {
+		costs[v] = float64(1 + v%7)
+	}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SelectQueryIndexed(col, idx, nil, Query{K: k}, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("budgeted", func(b *testing.B) {
+		q := Query{K: k, Costs: costs, Budget: float64(k)}
+		for i := 0; i < b.N; i++ {
+			res, err := SelectQueryIndexed(col, idx, nil, q, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.SpentBudget > q.Budget {
+				b.Fatalf("spent %.1f over budget %.1f", res.SpentBudget, q.Budget)
+			}
+		}
+	})
+}

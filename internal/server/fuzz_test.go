@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+
+	"influmax/internal/graph"
+)
+
+// FuzzSeedsRequest fuzzes the extended /v1/seeds and /v1/spread JSON
+// decoders end to end through the real handler: any body — however
+// malformed, hostile or oversized — must produce a well-formed response
+// (200 with valid JSON, or 400 with a JSON error), never a panic, and
+// never disturb the resident sketch (a canonical plain query must answer
+// byte-identical seeds after every fuzzed request).
+func FuzzSeedsRequest(f *testing.F) {
+	f.Add(false, []byte(`{"k":1}`))
+	f.Add(false, []byte(`{"k":3,"budget":2.5}`))
+	f.Add(false, []byte(`{"k":3,"costs":[1,2],"budget":4}`))
+	f.Add(false, []byte(`{"k":3,"audience":[0,3,6],"blocked":[1]}`))
+	f.Add(false, []byte(`{"k":3,"budget":0,"audience":[],"blocked":[]}`))
+	f.Add(false, []byte(`{"k":-1,"costs":"x"}`))
+	f.Add(true, []byte(`{"seeds":[0,1,2]}`))
+	f.Add(true, []byte(`{"seeds":[5],"audience":[0,2,4]}`))
+	f.Add(true, []byte(`{"seeds":[],"audience":[4294967295]}`))
+	f.Add(true, []byte(`{"seeds"`))
+
+	g := testGraph(3, 40, 220)
+	cfg := testConfig(g)
+	cfg.KMax = 10
+	s, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Prewarm(context.Background()); err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+	canonical := func() []graph.Vertex {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/seeds", bytes.NewReader([]byte(`{"k":2}`))))
+		var sr seedsResponse
+		if rec.Code != http.StatusOK || json.Unmarshal(rec.Body.Bytes(), &sr) != nil {
+			return nil
+		}
+		return sr.Seeds
+	}
+	wantSeeds := canonical()
+	if wantSeeds == nil {
+		f.Fatal("canonical query failed at setup")
+	}
+
+	f.Fuzz(func(t *testing.T, spread bool, body []byte) {
+		path := "/v1/seeds"
+		if spread {
+			path = "/v1/spread"
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", path, bytes.NewReader(body)))
+		switch rec.Code {
+		case http.StatusOK:
+			if !json.Valid(rec.Body.Bytes()) {
+				t.Fatalf("%s: 200 with invalid JSON: %q", path, rec.Body.Bytes())
+			}
+		case http.StatusBadRequest:
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("%s: 400 without a JSON error: %q", path, rec.Body.Bytes())
+			}
+		default:
+			t.Fatalf("%s: status %d for body %q, want 200 or 400", path, rec.Code, body)
+		}
+		if got := canonical(); !slices.Equal(got, wantSeeds) {
+			t.Fatalf("sketch mutated: canonical seeds %v != %v after body %q", got, wantSeeds, body)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"testing"
+
+	"influmax/internal/cluster"
+	"influmax/internal/diffuse"
+	"influmax/internal/graph"
+	"influmax/internal/imm"
+)
+
+// queryTestServer builds a prewarmed server plus reference closures over
+// the single-process store at the same configuration: ref answers any
+// query, spreadRef is the exact CoverageOf estimator, and count is the
+// store's sample count.
+func queryTestServer(t *testing.T, cfg Config) (ts *httptest.Server, ref func(imm.Query) *imm.QueryResult, spreadRef func(seeds, audience []graph.Vertex) (int64, int64), count int) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prewarm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts = httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	_, col, idx, err := imm.RunCollect(cfg.Graph, imm.Options{
+		K: cfg.KMax, Epsilon: cfg.Epsilon, Model: cfg.Model,
+		Workers: cfg.Workers, Seed: cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := imm.RootsRange(cfg.Seed, col.Count(), cfg.Graph.NumVertices(), cfg.Workers)
+	ref = func(q imm.Query) *imm.QueryResult {
+		qr, err := imm.SelectQueryIndexed(col, idx, roots, q, cfg.Workers)
+		if err != nil {
+			t.Fatalf("reference query: %v", err)
+		}
+		return qr
+	}
+	spreadRef = func(seeds, audience []graph.Vertex) (int64, int64) {
+		covered, eligible, err := imm.CoverageOf(col.Count(), idx, roots, seeds, audience)
+		if err != nil {
+			t.Fatalf("reference spread: %v", err)
+		}
+		return covered, eligible
+	}
+	return ts, ref, spreadRef, col.Count()
+}
+
+// TestSeedsQueryModes drives the extended /v1/seeds fields end to end:
+// every query mode served over HTTP must match the single-process
+// SelectQueryIndexed answer, the mode extras (gains, eligible,
+// spentBudget) must be present exactly when the query is non-plain, and
+// the per-mode counters must tick.
+func TestSeedsQueryModes(t *testing.T) {
+	g := testGraph(7, 120, 900)
+	cfg := testConfig(g)
+	ts, ref, _, _ := queryTestServer(t, cfg)
+	n := g.NumVertices()
+
+	costs := make([]float64, n)
+	costJSON := make([]string, n)
+	for v := range costs {
+		costs[v] = float64(1 + (v*2654435761)%4)
+		costJSON[v] = fmt.Sprintf("%g", costs[v])
+	}
+	var audience []graph.Vertex
+	for v := 0; v < n; v += 3 {
+		audience = append(audience, graph.Vertex(v))
+	}
+	audJSON, _ := json.Marshal(audience)
+	plain := ref(imm.Query{K: 5})
+	blocked := plain.Seeds[:2]
+	blockedJSON, _ := json.Marshal(blocked)
+
+	cases := []struct {
+		name string
+		body string
+		q    imm.Query
+	}{
+		{"budgeted", fmt.Sprintf(`{"k":5,"costs":[%s],"budget":6}`, strings.Join(costJSON, ",")),
+			imm.Query{K: 5, Costs: costs, Budget: 6}},
+		{"unit-budget", `{"k":5,"budget":3}`, imm.Query{K: 5, Budget: 3}},
+		{"targeted", fmt.Sprintf(`{"k":5,"audience":%s}`, audJSON), imm.Query{K: 5, Audience: audience}},
+		{"blocked", fmt.Sprintf(`{"k":5,"blocked":%s}`, blockedJSON), imm.Query{K: 5, Blocked: blocked}},
+	}
+	for _, tc := range cases {
+		status, _, got := postSeeds(t, ts.Client(), ts.URL, tc.body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d", tc.name, status)
+		}
+		want := ref(tc.q)
+		if !slices.Equal(got.Seeds, want.Seeds) || !slices.Equal(got.Gains, want.Gains) {
+			t.Fatalf("%s: served (%v, %v) != reference (%v, %v)",
+				tc.name, got.Seeds, got.Gains, want.Seeds, want.Gains)
+		}
+		if got.Eligible != want.Eligible || got.SpentBudget != want.SpentBudget {
+			t.Fatalf("%s: eligible/spent (%d, %v) != (%d, %v)",
+				tc.name, got.Eligible, got.SpentBudget, want.Eligible, want.SpentBudget)
+		}
+	}
+
+	// A plain request keeps the historical response shape: no gains,
+	// eligible or spentBudget keys at all.
+	resp, err := ts.Client().Post(ts.URL+"/v1/seeds", "application/json", strings.NewReader(`{"k":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, key := range []string{`"gains"`, `"eligible"`, `"spentBudget"`} {
+		if strings.Contains(string(raw), key) {
+			t.Fatalf("plain response leaks %s: %s", key, raw)
+		}
+	}
+
+	// The per-mode counters observed every non-plain query above.
+	mr, err := ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(mr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	wantCounters := map[string]int64{
+		"server/query-budgeted": 2,
+		"server/query-targeted": 1,
+		"server/query-blocked":  1,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Fatalf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+
+	// Mode validation errors answer 400.
+	for _, body := range []string{
+		`{"k":5,"costs":[1,2]}`,             // costs without budget / wrong length
+		`{"k":5,"budget":-2}`,               // negative budget
+		`{"k":5,"audience":[100000]}`,       // audience out of range
+		`{"k":5,"blocked":[100000]}`,        // blocked out of range
+		`{"k":5,"budget":1e999}`,            // infinite budget (json overflow)
+		`{"k":5,"costs":"many","budget":1}`, // type mismatch
+	} {
+		status, _, _ := postSeeds(t, ts.Client(), ts.URL, body)
+		if status != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d, want 400", body, status)
+		}
+	}
+}
+
+// TestSeedsQueryDefaults: -budget/-audience/-blocked server defaults are
+// inherited by requests that omit the fields and cleared by explicit
+// empty values.
+func TestSeedsQueryDefaults(t *testing.T) {
+	g := testGraph(11, 90, 600)
+	cfg := testConfig(g)
+	var audience []graph.Vertex
+	for v := 0; v < g.NumVertices(); v += 2 {
+		audience = append(audience, graph.Vertex(v))
+	}
+	cfg.DefaultBudget = 4
+	cfg.DefaultAudience = audience
+	ts, ref, _, _ := queryTestServer(t, cfg)
+
+	// Omitting the fields inherits both defaults.
+	status, _, got := postSeeds(t, ts.Client(), ts.URL, `{"k":4}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	want := ref(imm.Query{K: 4, Budget: 4, Audience: audience})
+	if !slices.Equal(got.Seeds, want.Seeds) || got.SpentBudget != want.SpentBudget || got.Eligible != want.Eligible {
+		t.Fatalf("defaults not inherited: (%v, %v, %d) != (%v, %v, %d)",
+			got.Seeds, got.SpentBudget, got.Eligible, want.Seeds, want.SpentBudget, want.Eligible)
+	}
+
+	// Explicit zero budget and empty audience clear the defaults — the
+	// query is plain again and byte-identical to the no-defaults server.
+	status, _, got = postSeeds(t, ts.Client(), ts.URL, `{"k":4,"budget":0,"audience":[]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	wantPlain := ref(imm.Query{K: 4})
+	if !slices.Equal(got.Seeds, wantPlain.Seeds) {
+		t.Fatalf("cleared defaults: %v != plain %v", got.Seeds, wantPlain.Seeds)
+	}
+}
+
+// TestSpreadEndpoint pins POST /v1/spread against the exposed CoverageOf
+// estimator, with and without an audience filter, plus its error paths.
+func TestSpreadEndpoint(t *testing.T) {
+	g := testGraph(13, 100, 700)
+	cfg := testConfig(g)
+	ts, ref, spreadRef, count := queryTestServer(t, cfg)
+	n := g.NumVertices()
+
+	plain := ref(imm.Query{K: 5})
+	var audience []graph.Vertex
+	for v := 0; v < n; v += 3 {
+		audience = append(audience, graph.Vertex(v))
+	}
+
+	post := func(body string) (int, spreadResponse) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/v1/spread", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr spreadResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, sr
+	}
+
+	seedsJSON, _ := json.Marshal(plain.Seeds)
+	audJSON, _ := json.Marshal(audience)
+	for _, tc := range []struct {
+		name     string
+		body     string
+		audience []graph.Vertex
+	}{
+		{"unrestricted", fmt.Sprintf(`{"seeds":%s}`, seedsJSON), nil},
+		{"targeted", fmt.Sprintf(`{"seeds":%s,"audience":%s}`, seedsJSON, audJSON), audience},
+	} {
+		status, sr := post(tc.body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d", tc.name, status)
+		}
+		wantCovered, wantEligible := spreadRef(plain.Seeds, tc.audience)
+		if sr.Covered != wantCovered || sr.Eligible != wantEligible {
+			t.Fatalf("%s: (%d, %d) != CoverageOf (%d, %d)",
+				tc.name, sr.Covered, sr.Eligible, wantCovered, wantEligible)
+		}
+		wantFrac := float64(wantCovered) / float64(count)
+		if sr.CoverageFraction != wantFrac || sr.EstimatedSpread != wantFrac*float64(n) {
+			t.Fatalf("%s: fraction/estimate (%v, %v) != (%v, %v)",
+				tc.name, sr.CoverageFraction, sr.EstimatedSpread, wantFrac, wantFrac*float64(n))
+		}
+		if tc.audience == nil && sr.Covered != plain.Covered {
+			t.Fatalf("spread of the selected seeds %d != selection coverage %d", sr.Covered, plain.Covered)
+		}
+	}
+
+	for _, body := range []string{
+		`{"seeds":`,                      // malformed JSON
+		`{}`,                             // no seeds
+		`{"seeds":[]}`,                   // empty seeds
+		`{"seeds":[100000]}`,             // seed out of range
+		`{"seeds":[1],"audience":[1e9]}`, // audience out of range
+		`{"seeds":[1],"epsilon":7}`,      // invalid epsilon override
+	} {
+		if status, _ := post(body); status != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d, want 400", body, status)
+		}
+	}
+}
+
+// TestSpreadShardModeRejected: shard replicas refuse /v1/spread the same
+// way they refuse /v1/seeds — the router owns fleet-wide estimates.
+func TestSpreadShardModeRejected(t *testing.T) {
+	g := testGraph(17, 60, 400)
+	shards, err := cluster.BuildShards(g, cluster.BuildOptions{
+		K: 5, Epsilon: 0.5, Model: diffuse.IC, Seed: 3, Workers: 2, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(g)
+	cfg.ClusterShard = shards[0]
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/spread", "application/json", strings.NewReader(`{"seeds":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shard-mode spread: status %d, want 400", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "cluster router") {
+		t.Fatalf("shard-mode spread error does not point at the router: %s", raw)
+	}
+}

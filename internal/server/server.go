@@ -95,6 +95,13 @@ type Config struct {
 	// MaxDeltaOps bounds the edge ops accepted in one delta batch (<= 0
 	// defaults to 4096).
 	MaxDeltaOps int
+	// DefaultBudget, DefaultAudience and DefaultBlocked are query-shape
+	// defaults (the -budget/-audience/-blocked immserve flags): a
+	// /v1/seeds request that leaves the corresponding field absent
+	// inherits them. Zero/nil means plain top-k, exactly as before.
+	DefaultBudget   float64
+	DefaultAudience []graph.Vertex
+	DefaultBlocked  []graph.Vertex
 	// ClusterShard, when non-nil, runs this server as one shard replica of
 	// a router-fronted fleet (internal/cluster): the shard API is mounted
 	// (POST /v1/shard/op, GET /v1/shard/info, GET /v1/snapshot for peer
@@ -167,6 +174,7 @@ type Server struct {
 	deltaPending []*pendingDelta
 
 	mQueries, mRejected, mTimeouts, mErrors, mBuilds, mDeltaBatches, mCoalesced *metrics.Counter
+	mQueryBudgeted, mQueryTargeted, mQueryBlocked, mQuerySpread                 *metrics.Counter
 	mInflight, mSketches, mQueueDepth                                           *metrics.Gauge
 	mLatency                                                                    *metrics.Histogram
 
@@ -198,23 +206,27 @@ func New(cfg Config) (*Server, error) {
 		reg = metrics.NewRegistry()
 	}
 	s := &Server{
-		cfg:           cfg,
-		digest:        cfg.Graph.Digest(),
-		reg:           reg,
-		cache:         newSketchCache(cfg.MaxSketches),
-		admitLimit:    int64(cfg.MaxConcurrent + cfg.MaxQueue),
-		running:       make(chan struct{}, cfg.MaxConcurrent),
-		mQueries:      reg.Counter("server/queries"),
-		mDeltaBatches: reg.Counter("server/delta-batches"),
-		mCoalesced:    reg.Counter("server/delta-coalesced"),
-		mRejected:     reg.Counter("server/rejected"),
-		mTimeouts:     reg.Counter("server/timeouts"),
-		mErrors:       reg.Counter("server/errors"),
-		mBuilds:       reg.Counter("server/sketch-builds"),
-		mInflight:     reg.Gauge("server/inflight"),
-		mSketches:     reg.Gauge("server/sketches"),
-		mQueueDepth:   reg.Gauge("server/queue-depth"),
-		mLatency:      reg.Histogram("server/query-us"),
+		cfg:            cfg,
+		digest:         cfg.Graph.Digest(),
+		reg:            reg,
+		cache:          newSketchCache(cfg.MaxSketches),
+		admitLimit:     int64(cfg.MaxConcurrent + cfg.MaxQueue),
+		running:        make(chan struct{}, cfg.MaxConcurrent),
+		mQueries:       reg.Counter("server/queries"),
+		mDeltaBatches:  reg.Counter("server/delta-batches"),
+		mCoalesced:     reg.Counter("server/delta-coalesced"),
+		mRejected:      reg.Counter("server/rejected"),
+		mTimeouts:      reg.Counter("server/timeouts"),
+		mErrors:        reg.Counter("server/errors"),
+		mBuilds:        reg.Counter("server/sketch-builds"),
+		mQueryBudgeted: reg.Counter("server/query-budgeted"),
+		mQueryTargeted: reg.Counter("server/query-targeted"),
+		mQueryBlocked:  reg.Counter("server/query-blocked"),
+		mQuerySpread:   reg.Counter("server/query-spread"),
+		mInflight:      reg.Gauge("server/inflight"),
+		mSketches:      reg.Gauge("server/sketches"),
+		mQueueDepth:    reg.Gauge("server/queue-depth"),
+		mLatency:       reg.Histogram("server/query-us"),
 	}
 	if cfg.Sketch != nil && cfg.Sketch.Key.GraphDigest != s.digest {
 		return nil, fmt.Errorf("server: provided sketch is for graph %016x, loaded graph is %016x",
@@ -242,6 +254,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/seeds", s.handleSeeds)
+	s.mux.HandleFunc("POST /v1/spread", s.handleSpread)
 	s.mux.HandleFunc("POST /v1/graph/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -325,6 +338,16 @@ type seedsRequest struct {
 	Epsilon *float64 `json:"epsilon,omitempty"`
 	Model   *string  `json:"model,omitempty"`
 	Seed    *uint64  `json:"seed,omitempty"`
+	// Query-diversity fields (DESIGN.md §17), all optional. Costs
+	// (per-vertex, length n) with Budget select cost-aware greedy (Budget
+	// alone implies unit costs); Audience restricts coverage to samples
+	// rooted in it; Blocked excludes a rival's seeds and their coverage.
+	// Absent fields inherit the server's Default* configuration; an
+	// all-plain request keeps the exact historical response shape.
+	Costs    []float64       `json:"costs,omitempty"`
+	Budget   *float64        `json:"budget,omitempty"`
+	Audience *[]graph.Vertex `json:"audience,omitempty"`
+	Blocked  *[]graph.Vertex `json:"blocked,omitempty"`
 }
 
 // seedsResponse is the POST /v1/seeds reply.
@@ -339,6 +362,37 @@ type seedsResponse struct {
 	Source           string             `json:"source"`
 	DeltaEpoch       uint64             `json:"deltaEpoch,omitempty"`
 	Report           *metrics.RunReport `json:"report"`
+	// Query-diversity extras, present only on non-plain queries so plain
+	// responses keep their exact historical shape.
+	Gains       []int64 `json:"gains,omitempty"`
+	Eligible    int64   `json:"eligible,omitempty"`
+	SpentBudget float64 `json:"spentBudget,omitempty"`
+}
+
+// spreadRequest is the POST /v1/spread body: estimate the influence of a
+// caller-supplied seed set over the resident sketch's samples, optionally
+// restricted to audience-rooted samples. The epsilon/model/seed overrides
+// select (and on first use populate) a sketch exactly like /v1/seeds.
+type spreadRequest struct {
+	Seeds    []graph.Vertex `json:"seeds"`
+	Audience []graph.Vertex `json:"audience,omitempty"`
+	Epsilon  *float64       `json:"epsilon,omitempty"`
+	Model    *string        `json:"model,omitempty"`
+	Seed     *uint64        `json:"seed,omitempty"`
+}
+
+// spreadResponse is the POST /v1/spread reply. EstimatedSpread is
+// n * covered / theta — with an audience, the expected number of audience
+// members influenced.
+type spreadResponse struct {
+	Covered          int64   `json:"covered"`
+	Eligible         int64   `json:"eligible"`
+	CoverageFraction float64 `json:"coverageFraction"`
+	EstimatedSpread  float64 `json:"estimatedSpread"`
+	Theta            int64   `json:"theta"`
+	Cached           bool    `json:"cached"`
+	Source           string  `json:"source"`
+	DeltaEpoch       uint64  `json:"deltaEpoch,omitempty"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -441,6 +495,25 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "k = %d, want 1 <= k <= kMax = %d", req.K, key.KMax)
 		return
 	}
+	// Resolve the query shape: explicit fields win, absent ones inherit
+	// the server defaults (an explicit empty value clears a default).
+	q := imm.Query{K: req.K, Costs: req.Costs, Budget: s.cfg.DefaultBudget,
+		Audience: s.cfg.DefaultAudience, Blocked: s.cfg.DefaultBlocked}
+	if req.Budget != nil {
+		q.Budget = *req.Budget
+	}
+	if req.Audience != nil {
+		q.Audience = *req.Audience
+	}
+	if req.Blocked != nil {
+		q.Blocked = *req.Blocked
+	}
+	if !q.Plain() {
+		if err := q.Validate(s.cfg.Graph.NumVertices()); err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
 	defer cancel()
@@ -484,13 +557,36 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	seeds, covered := sk.Query(req.K, s.cfg.Workers)
+	var (
+		seeds   []graph.Vertex
+		covered int64
+		qr      *imm.QueryResult
+	)
+	if q.Plain() {
+		seeds, covered = sk.Query(req.K, s.cfg.Workers)
+	} else {
+		qr, err = sk.QueryEx(q, s.cfg.Workers)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		seeds, covered = qr.Seeds, qr.Covered
+		if q.Budgeted() {
+			s.mQueryBudgeted.Inc()
+		}
+		if len(q.Audience) > 0 {
+			s.mQueryTargeted.Inc()
+		}
+		if len(q.Blocked) > 0 {
+			s.mQueryBlocked.Inc()
+		}
+	}
 	dur := time.Since(start)
 	s.mQueries.Inc()
 	s.mLatency.Observe(dur.Microseconds())
 
 	rep := sk.report(req.K, s.cfg.Workers, dur, seeds, covered)
-	writeJSON(w, http.StatusOK, seedsResponse{
+	resp := seedsResponse{
 		K:                req.K,
 		KMax:             sk.Key.KMax,
 		Seeds:            seeds,
@@ -501,7 +597,151 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		Source:           sk.Source,
 		DeltaEpoch:       sk.DeltaEpoch,
 		Report:           rep,
-	})
+	}
+	if qr != nil {
+		resp.Gains = qr.Gains
+		resp.Eligible = qr.Eligible
+		resp.SpentBudget = qr.SpentBudget
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSpread is the seed-set estimation path: same admission control
+// and sketch resolution as /v1/seeds, then a stateless coverage count
+// over the resident samples (no greedy, no purging).
+func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeBackoff(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if sh := s.cfg.ClusterShard; sh != nil {
+		s.writeError(w, http.StatusBadRequest,
+			"this replica serves shard %d of %d; POST /v1/spread to the cluster router instead",
+			sh.ShardIdx, sh.ShardCount)
+		return
+	}
+	if adm := s.admitted.Add(1); adm > s.admitLimit {
+		s.mQueueDepth.Set(s.admitted.Add(-1))
+		s.mRejected.Inc()
+		s.writeBackoff(w, http.StatusTooManyRequests,
+			"saturated: %d queries admitted (limit %d running + %d queued)",
+			s.admitLimit, s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+		return
+	} else {
+		s.mQueueDepth.Set(adm)
+	}
+	defer func() { s.mQueueDepth.Set(s.admitted.Add(-1)) }()
+
+	var req spreadRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	key := s.DefaultKey()
+	if s.cfg.Dynamic && (req.Model != nil || req.Epsilon != nil || req.Seed != nil) {
+		s.writeError(w, http.StatusBadRequest,
+			"dynamic mode serves one sketch configuration; model/epsilon/seed overrides are not available")
+		return
+	}
+	if req.Model != nil {
+		m, err := diffuse.ParseModel(*req.Model)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		key.Model = m
+	}
+	if req.Epsilon != nil {
+		if *req.Epsilon <= 0 || *req.Epsilon >= 1 {
+			s.writeError(w, http.StatusBadRequest, "epsilon = %v, want 0 < eps < 1", *req.Epsilon)
+			return
+		}
+		key.Epsilon = *req.Epsilon
+	}
+	if req.Seed != nil {
+		key.Seed = *req.Seed
+	}
+	if len(req.Seeds) == 0 {
+		s.writeError(w, http.StatusBadRequest, "spread needs at least one seed")
+		return
+	}
+	n := s.cfg.Graph.NumVertices()
+	for _, v := range req.Seeds {
+		if int(v) >= n {
+			s.writeError(w, http.StatusBadRequest, "seed vertex %d out of range (n = %d)", v, n)
+			return
+		}
+	}
+	for _, v := range req.Audience {
+		if int(v) >= n {
+			s.writeError(w, http.StatusBadRequest, "audience vertex %d out of range (n = %d)", v, n)
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	select {
+	case s.running <- struct{}{}:
+		defer func() { <-s.running }()
+	case <-ctx.Done():
+		s.mTimeouts.Inc()
+		s.writeBackoff(w, http.StatusServiceUnavailable, "queue wait exceeded: %v", ctx.Err())
+		return
+	}
+	s.mInflight.Add(1)
+	defer s.mInflight.Add(-1)
+	if s.testQueryHook != nil {
+		s.testQueryHook()
+	}
+
+	var (
+		sk  *Sketch
+		hit bool
+		err error
+	)
+	if s.cfg.Dynamic {
+		sk, hit = s.dynSk.Load(), true
+	} else {
+		sk, hit, err = s.sketchFor(ctx, key)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.mTimeouts.Inc()
+			s.writeBackoff(w, http.StatusServiceUnavailable,
+				"sketch for (%s) still building: %v", key, err)
+			return
+		}
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "building sketch: %v", err)
+			return
+		}
+	}
+
+	start := time.Now()
+	covered, eligible, err := sk.Spread(req.Seeds, req.Audience)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dur := time.Since(start)
+	s.mQueries.Inc()
+	s.mQuerySpread.Inc()
+	s.mLatency.Observe(dur.Microseconds())
+
+	resp := spreadResponse{
+		Covered:    covered,
+		Eligible:   eligible,
+		Theta:      sk.Theta,
+		Cached:     hit,
+		Source:     sk.Source,
+		DeltaEpoch: sk.DeltaEpoch,
+	}
+	if c := sk.Col.Count(); c > 0 {
+		resp.CoverageFraction = float64(covered) / float64(c)
+	}
+	resp.EstimatedSpread = resp.CoverageFraction * float64(sk.Col.NumVertices())
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz reports liveness: 200 while serving, 503 while draining.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"influmax/internal/diffuse"
@@ -65,6 +66,47 @@ type Sketch struct {
 	// this sketch (zero for static sketches); they ride into RunReports.
 	DeltaEpoch uint64
 	DeltaStats imm.DeltaStats
+
+	// rootsOnce/roots back Roots(): the per-sample root column, derived
+	// lazily on the first audience-filtered query.
+	rootsOnce sync.Once
+	roots     []graph.Vertex
+}
+
+// Roots returns the per-sample root column — sample i's root is the first
+// draw of its PerSample stream, a pure function of (seed, i, n) — derived
+// lazily and cached. The column survives delta maintenance untouched:
+// dynamic updates rebuild sample tails but never reseed the streams, so
+// roots are invariant across epochs. Safe for concurrent callers.
+func (s *Sketch) Roots() []graph.Vertex {
+	s.rootsOnce.Do(func() {
+		s.roots = imm.RootsRange(s.Key.Seed, s.Col.Count(), s.Col.NumVertices(), 0)
+	})
+	return s.roots
+}
+
+// QueryEx runs the general query shapes of DESIGN.md §17 — budgeted,
+// targeted, blocked, or any combination (a plain q reproduces Query
+// byte-identically). Copy-on-read like Query: safe for any number of
+// concurrent callers.
+func (s *Sketch) QueryEx(q imm.Query, p int) (*imm.QueryResult, error) {
+	var roots []graph.Vertex
+	if len(q.Audience) > 0 {
+		roots = s.Roots()
+	}
+	return imm.SelectQuerySketch(s.Col, s.Idx, roots, q, p)
+}
+
+// Spread estimates the coverage of a caller-supplied seed set: how many
+// of the sketch's samples (optionally restricted to audience-rooted ones)
+// the set covers, and how many were eligible. The RIS estimate of the
+// seed set's influence is n * covered / Col.Count().
+func (s *Sketch) Spread(seeds, audience []graph.Vertex) (covered, eligible int64, err error) {
+	var roots []graph.Vertex
+	if len(audience) > 0 {
+		roots = s.Roots()
+	}
+	return imm.CoverageOf(s.Col.Count(), s.Idx, roots, seeds, audience)
 }
 
 // BuildSketch samples a sketch for key over g: the full estimation +
